@@ -1,0 +1,195 @@
+//! Ablations of the LCU's design choices (DESIGN.md §ablations).
+//!
+//! `iter_custom` reports *simulated* cycles as nanoseconds, so criterion's
+//! comparisons measure the architecture, not the host machine:
+//!
+//! * `direct_transfer`  — direct LCU→LCU grants vs routing every transfer
+//!   through the home LRT (the paper's headline mechanism).
+//! * `fast_reacquire`   — RD_REL local re-acquisition on vs off.
+//! * `grant_timeout`    — sensitivity to the §III-C timeout threshold under
+//!   oversubscription.
+//! * `lcu_entries`      — table size 2 vs 8 vs 16 under multi-lock load.
+//! * `reservation`      — LRT anti-starvation reservation on vs off under
+//!   entry-exhaustion pressure.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locksim_bench::lcu_microbench_cycles;
+use locksim_core::LcuBackend;
+use locksim_machine::{Action, MachineConfig, Mode, World};
+use locksim_machine::testing::ScriptProgram;
+
+const ITERS: u64 = 2_000;
+
+fn sim_duration(cycles: u64) -> Duration {
+    Duration::from_nanos(cycles)
+}
+
+fn bench_direct_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_direct_transfer");
+    g.sample_size(10);
+    for (name, direct) in [("direct", true), ("via_lrt", false)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|n| {
+                let mut total = 0;
+                for _ in 0..n {
+                    let mut cfg = MachineConfig::model_a(32);
+                    cfg.lcu_direct_transfer = direct;
+                    total += lcu_microbench_cycles(cfg, 16, 100, ITERS);
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fast_reacquire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fast_reacquire");
+    g.sample_size(10);
+    for (name, on) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|n| {
+                let mut total = 0;
+                for _ in 0..n {
+                    let mut cfg = MachineConfig::model_a(32);
+                    cfg.lcu_fast_reacquire = on;
+                    // Read-dominated: re-acquisition of read locks matters.
+                    total += lcu_microbench_cycles(cfg, 16, 10, ITERS);
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_grant_timeout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_grant_timeout");
+    g.sample_size(10);
+    for timeout in [200u64, 1_000, 5_000] {
+        g.bench_function(format!("timeout_{timeout}"), |b| {
+            b.iter_custom(|n| {
+                let mut total = 0;
+                for _ in 0..n {
+                    // 8 cores, 16 threads: grants regularly land on
+                    // preempted threads and the timeout forwards them.
+                    let mut cfg = MachineConfig::model_a(8);
+                    cfg.grant_timeout = timeout;
+                    cfg.quantum = 20_000;
+                    total += lcu_microbench_cycles(cfg, 16, 100, ITERS);
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lcu_entries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lcu_entries");
+    g.sample_size(10);
+    for entries in [2usize, 8, 16] {
+        g.bench_function(format!("entries_{entries}"), |b| {
+            b.iter_custom(|n| {
+                let mut total = 0;
+                for _ in 0..n {
+                    let mut cfg = MachineConfig::model_a(8);
+                    cfg.lcu_entries = entries;
+                    // Each thread holds several read locks at once, so small
+                    // tables overflow into nonblocking mode.
+                    let mut w = World::new(cfg, Box::new(LcuBackend::new()), 42);
+                    let locks: Vec<_> = (0..12).map(|_| w.mach().alloc().alloc_line()).collect();
+                    for _ in 0..8 {
+                        let mut script = Vec::new();
+                        for _ in 0..20 {
+                            for &l in &locks {
+                                script.push(Action::Acquire { lock: l, mode: Mode::Read, try_for: None });
+                            }
+                            script.push(Action::Compute(500));
+                            for &l in &locks {
+                                script.push(Action::Release { lock: l, mode: Mode::Read });
+                            }
+                        }
+                        w.spawn(Box::new(ScriptProgram::new(script)));
+                    }
+                    w.run_to_completion();
+                    total += w.mach().now().cycles();
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_reservation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_reservation");
+    g.sample_size(10);
+    for (name, on) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|n| {
+                let mut total = 0;
+                for _ in 0..n {
+                    // Tiny LCUs force nonblocking requests; the reservation
+                    // keeps them from starving behind queue traffic.
+                    let mut cfg = MachineConfig::model_a(8);
+                    cfg.lcu_entries = 2;
+                    cfg.lcu_reservation = on;
+                    total += lcu_microbench_cycles(cfg, 8, 100, ITERS);
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_flt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_flt");
+    g.sample_size(10);
+    for (name, entries) in [("off", 0usize), ("entries_4", 4)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|n| {
+                let mut total = 0;
+                for _ in 0..n {
+                    // Private-lock pattern: each thread hammers its own lock
+                    // (the paper's Radiosity observation, §IV-C).
+                    let mut cfg = MachineConfig::model_a(8);
+                    cfg.flt_entries = entries;
+                    let mut w = World::new(cfg, Box::new(LcuBackend::new()), 42);
+                    let locks: Vec<_> = (0..8).map(|_| w.mach().alloc().alloc_line()).collect();
+                    for t in 0..8usize {
+                        let mut script = Vec::new();
+                        for _ in 0..100 {
+                            script.push(Action::Acquire { lock: locks[t], mode: Mode::Write, try_for: None });
+                            script.push(Action::Compute(40));
+                            script.push(Action::Release { lock: locks[t], mode: Mode::Write });
+                        }
+                        w.spawn(Box::new(ScriptProgram::new(script)));
+                    }
+                    w.run_to_completion();
+                    total += w.mach().now().cycles();
+                }
+                sim_duration(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic simulated-cycle samples have zero variance, which
+    // criterion's plotters backend cannot density-plot; plots off.
+    config = Criterion::default().without_plots();
+    targets =
+    bench_direct_transfer,
+    bench_fast_reacquire,
+    bench_grant_timeout,
+    bench_lcu_entries,
+    bench_reservation,
+    bench_flt
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! One criterion benchmark per paper figure, each timing a representative
+//! cell of that figure's run matrix (whole-figure regeneration lives in the
+//! harness binaries; these benches track the simulator's performance on
+//! each workload class). Run with `cargo bench -p locksim-bench --bench figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locksim_harness::{
+    figs, run_app, run_microbench, run_stm, AppSel, BackendKind, ModelSel, StmVariant, StructSel,
+};
+use locksim_swlocks::SwAlg;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    // Static tables: full generation (cheap).
+    g.bench_function("fig1_comparison_table", |b| b.iter(figs::fig1));
+    g.bench_function("fig8_model_parameters", |b| b.iter(figs::fig8));
+    // One representative cell per measured figure.
+    g.bench_function("fig9_cell_lcu_vs_ssb", |b| {
+        b.iter(|| {
+            run_microbench(ModelSel::A, BackendKind::Lcu, 16, 100, 1_000, 42);
+            run_microbench(ModelSel::A, BackendKind::Ssb, 16, 100, 1_000, 42);
+        })
+    });
+    g.bench_function("fig10_cell_mcs_oversubscribed", |b| {
+        b.iter(|| run_microbench(ModelSel::A, BackendKind::Sw(SwAlg::Mcs), 40, 100, 500, 42))
+    });
+    g.bench_function("fig11_cell_stm_rb", |b| {
+        b.iter(|| run_stm(ModelSel::A, StmVariant::Lcu, StructSel::Rb, 256, 16, 10, 75, 42))
+    });
+    g.bench_function("fig12_cell_stm_hash", |b| {
+        b.iter(|| run_stm(ModelSel::A, StmVariant::SwOnly, StructSel::Hash, 1 << 12, 16, 10, 75, 42))
+    });
+    g.bench_function("fig13_cell_radiosity", |b| {
+        b.iter(|| run_app(AppSel::Radiosity, BackendKind::Lcu, 42))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic simulated-cycle samples have zero variance, which
+    // criterion's plotters backend cannot density-plot; plots off.
+    config = Criterion::default().without_plots();
+    targets = bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Shared helpers for the criterion benchmark targets.
+//!
+//! Two bench binaries exist:
+//!
+//! * `figures` — one benchmark per paper figure, running the harness's
+//!   quick-scale generators; criterion's wall-clock numbers track the
+//!   simulator's own performance per figure.
+//! * `ablations` — design-choice ablations from DESIGN.md. These use
+//!   `iter_custom` to report **simulated cycles as nanoseconds**, so the
+//!   criterion comparison reflects the architecture, not host speed.
+//!
+//! Both respect `LOCKSIM_QUICK` sizing through the harness.
+
+use locksim_core::LcuBackend;
+use locksim_machine::{MachineConfig, World};
+use locksim_workloads::{CsThread, IterPool};
+
+/// Runs the single-lock microbenchmark on a custom LCU configuration and
+/// returns total simulated cycles.
+pub fn lcu_microbench_cycles(cfg: MachineConfig, threads: usize, write_pct: u32, iters: u64) -> u64 {
+    let mut w = World::new(cfg, Box::new(LcuBackend::new()), 42);
+    let lock = w.mach().alloc().alloc_line();
+    let data = w.mach().alloc().alloc_line();
+    let pool = IterPool::new(iters);
+    for _ in 0..threads {
+        w.spawn(Box::new(CsThread::new(lock, data, pool.clone(), write_pct)));
+    }
+    w.run_to_completion();
+    w.mach().now().cycles()
+}

@@ -1,0 +1,134 @@
+//! Shared protocol vocabulary.
+
+use std::fmt;
+
+/// A cache-line-granular physical address (the low 6 offset bits are already
+/// stripped by the machine's address map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// Identifies an L1 cache controller (one per core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheId(pub u32);
+
+/// Identifies a home directory controller (one per memory controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirId(pub u32);
+
+/// MESI stable states of a line in an L1 cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CacheState {
+    /// Invalid — not present.
+    #[default]
+    I,
+    /// Shared — clean, readable, possibly cached elsewhere.
+    S,
+    /// Exclusive — clean, sole copy, silently upgradable to M.
+    E,
+    /// Modified — dirty, sole copy.
+    M,
+}
+
+impl CacheState {
+    /// Whether a load hits in this state.
+    pub fn readable(self) -> bool {
+        !matches!(self, CacheState::I)
+    }
+
+    /// Whether a store/RMW hits in this state (E upgrades silently).
+    pub fn writable(self) -> bool {
+        matches!(self, CacheState::E | CacheState::M)
+    }
+}
+
+/// A CPU memory operation as seen by the cache controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuOp {
+    /// A read.
+    Load,
+    /// A write.
+    Store,
+    /// An atomic read-modify-write (needs ownership, like a store).
+    Rmw,
+}
+
+impl CpuOp {
+    /// Whether the operation needs write permission.
+    pub fn needs_ownership(self) -> bool {
+        matches!(self, CpuOp::Store | CpuOp::Rmw)
+    }
+}
+
+/// Request kinds a cache sends to the home directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Read permission (results in S or E).
+    GetS,
+    /// Write permission (results in M; sharers invalidated).
+    GetM,
+}
+
+/// Messages from a cache to its home directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheToDir {
+    /// A permission request.
+    Req(ReqKind),
+    /// Acknowledges an `Inv`; `dirty` carries modified data home.
+    InvAck {
+        /// Line was in M and data travels with the ack.
+        dirty: bool,
+    },
+    /// Acknowledges a `Downgrade`; `dirty` carries modified data home.
+    DowngradeAck {
+        /// Line was in M and data travels with the ack.
+        dirty: bool,
+    },
+}
+
+/// Messages from a directory to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirToCache {
+    /// Grants read permission; `exclusive` selects E over S.
+    DataS {
+        /// No other sharer exists — install in E.
+        exclusive: bool,
+    },
+    /// Grants write permission (install in M).
+    DataM,
+    /// Drop the line and ack (with data if dirty).
+    Inv,
+    /// Demote M/E to S and ack (with data if dirty).
+    Downgrade,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_permissions() {
+        assert!(!CacheState::I.readable());
+        assert!(CacheState::S.readable());
+        assert!(!CacheState::S.writable());
+        assert!(CacheState::E.writable());
+        assert!(CacheState::M.writable());
+    }
+
+    #[test]
+    fn op_ownership_needs() {
+        assert!(!CpuOp::Load.needs_ownership());
+        assert!(CpuOp::Store.needs_ownership());
+        assert!(CpuOp::Rmw.needs_ownership());
+    }
+
+    #[test]
+    fn line_addr_display() {
+        assert_eq!(LineAddr(0x40).to_string(), "L0x40");
+    }
+}

@@ -1,0 +1,1310 @@
+//! The LCU/LRT protocol driver: a [`LockBackend`] implementation wiring the
+//! per-core LCU tables and per-memory-controller LRTs into the machine's
+//! event loop.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use locksim_engine::stats::Counters;
+use locksim_engine::Cycles;
+use locksim_machine::{Addr, CoreId, Ep, LockBackend, Mach, Mode, ThreadId};
+use locksim_topo::MsgClass;
+
+use locksim_machine::Checker;
+use crate::entry::{EntryKind, Lcu, Status};
+use crate::lrt::{Lrt, Residency};
+use crate::msg::{Msg, Node};
+
+/// A thread's outstanding acquire request.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    addr: Addr,
+    mode: Mode,
+    /// Core the live request was issued from.
+    core: usize,
+    /// The grant timed out at the issuing LCU and was passed on; the request
+    /// must be re-issued when the thread is scheduled again.
+    needs_reissue: bool,
+}
+
+/// A lock a thread currently holds.
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    mode: Mode,
+    /// Granted in LRT overflow mode (no queue membership).
+    overflow: bool,
+    /// Transfer count at grant time (restored when the LCU entry is
+    /// re-allocated on demand).
+    cnt: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    /// A trylock budget expired.
+    TryExpire(ThreadId),
+    /// A received grant was not taken within the threshold (§III-C).
+    GrantTimeout { lcu: usize, addr: Addr, tid: ThreadId },
+    /// Software retry of an acquire (LCU exhaustion / nonblocking retry).
+    RetryAcquire(ThreadId),
+    /// A release could not allocate an LCU entry; retry the protocol part
+    /// (the thread itself has already moved on).
+    RetryRelease { tid: ThreadId, addr: Addr, mode: Mode, core: usize, cnt: u64 },
+    /// A forwarded request found a full LCU; redeliver it shortly.
+    RedeliverFwd { at: usize, addr: Addr, tail_tid: ThreadId, req: Node },
+}
+
+/// The Lock Control Unit backend: the paper's contribution.
+///
+/// One [`Lcu`] per core and one [`Lrt`] per memory controller exchange the
+/// messages of [`Msg`] over the simulated network. See the crate docs for
+/// the protocol walkthrough.
+#[derive(Debug)]
+pub struct LcuBackend {
+    lcus: Vec<Lcu>,
+    lrts: Vec<Lrt>,
+    /// Free Lock Table per core: locks released by a local thread but not
+    /// yet requested by anyone else, parked so a repeat acquire is a local
+    /// hit (paper §IV-C). Maps lock → (owner-of-record, transfer count).
+    flts: Vec<HashMap<Addr, (ThreadId, u64)>>,
+    reqs: HashMap<ThreadId, Req>,
+    held: HashMap<(ThreadId, Addr), Held>,
+    timers: HashMap<u64, TimerKind>,
+    timer_seq: u64,
+    counters: Counters,
+    checker: Checker,
+    initialized: bool,
+}
+
+impl Default for LcuBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LcuBackend {
+    /// Creates the backend; tables are sized lazily from the machine
+    /// configuration on first use.
+    pub fn new() -> Self {
+        LcuBackend {
+            lcus: Vec::new(),
+            lrts: Vec::new(),
+            flts: Vec::new(),
+            reqs: HashMap::new(),
+            held: HashMap::new(),
+            timers: HashMap::new(),
+            timer_seq: 0,
+            counters: Counters::new(),
+            checker: Checker::new(),
+            initialized: false,
+        }
+    }
+
+    fn ensure_init(&mut self, m: &Mach) {
+        if !self.initialized {
+            let cfg = m.cfg();
+            self.lcus = (0..m.n_cores()).map(|_| Lcu::new(cfg.lcu_entries)).collect();
+            self.lrts = (0..m.n_mems())
+                .map(|_| Lrt::new(cfg.lrt_entries, cfg.lrt_assoc))
+                .collect();
+            self.flts = (0..m.n_cores()).map(|_| HashMap::new()).collect();
+            self.initialized = true;
+        }
+    }
+
+    fn arm(&mut self, m: &mut Mach, delay: Cycles, kind: TimerKind) {
+        let token = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.insert(token, kind);
+        m.set_timer(delay, token);
+    }
+
+    /// Sends a protocol message from an LCU to the home LRT.
+    fn to_lrt(&mut self, m: &mut Mach, from_core: usize, msg: Msg) {
+        let home = m.home_of(msg.addr());
+        let extra = m.cfg().lcu_latency;
+        m.send_wire(Ep::Core(from_core), Ep::Mem(home), MsgClass::Control, extra, Box::new(msg));
+    }
+
+    /// Sends a protocol message from an LRT to an LCU; `penalty` carries
+    /// extra processing latency (overflow-table access).
+    fn lrt_to_lcu(&mut self, m: &mut Mach, from_mem: usize, to_core: usize, penalty: Cycles, msg: Msg) {
+        let extra = m.cfg().lrt_latency + penalty;
+        let wrapped = ToLcu { core: to_core, msg };
+        m.send_wire(Ep::Mem(from_mem), Ep::Core(to_core), MsgClass::Control, extra, Box::new(wrapped));
+    }
+
+    /// Direct LCU→LCU transfer.
+    fn lcu_to_lcu(&mut self, m: &mut Mach, from: usize, to: usize, msg: Msg) {
+        let extra = m.cfg().lcu_latency;
+        let wrapped = ToLcu { core: to, msg };
+        if from == to {
+            // Same-core transfer (two threads sharing a core): model as a
+            // local LCU operation.
+            let home = m.home_of(wrapped.msg.addr());
+            m.send_wire(Ep::Core(from), Ep::Mem(home), MsgClass::Control, 0, Box::new(LoopBack(wrapped)));
+            return;
+        }
+        m.send_wire(Ep::Core(from), Ep::Core(to), MsgClass::Control, extra, Box::new(wrapped));
+    }
+
+    /// Allocates an entry for queue maintenance (release re-allocation or
+    /// owner re-allocation on a forwarded request): ordinary entries first,
+    /// then the remote-request nonblocking entry (§III-D), which exists so
+    /// remote-service operations make progress when ordinary entries are
+    /// exhausted.
+    fn alloc_service_entry(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        tid: ThreadId,
+        mode: Mode,
+    ) -> bool {
+        if self.lcus[core]
+            .alloc(addr, tid, mode, EntryKind::Ordinary)
+            .is_some()
+        {
+            return true;
+        }
+        self.lcus[core]
+            .alloc(addr, tid, mode, EntryKind::RemoteRequest)
+            .is_some()
+    }
+
+    // ----------------------------------------------------------------
+    // Acquire path
+    // ----------------------------------------------------------------
+
+    fn try_start_request(&mut self, m: &mut Mach, t: ThreadId) {
+        let Some(req) = self.reqs.get(&t).copied() else { return };
+        let Some(core) = m.core_of(t) else {
+            // Thread got preempted before we could issue; re-issued on
+            // reschedule via `on_thread_scheduled`.
+            if let Some(r) = self.reqs.get_mut(&t) {
+                r.needs_reissue = true;
+            }
+            return;
+        };
+        let core = core.0 as usize;
+        if let Some(r) = self.reqs.get_mut(&t) {
+            r.core = core;
+            r.needs_reissue = false;
+        }
+        let (addr, mode) = (req.addr, req.mode);
+        if let Some(e) = self.lcus[core].get_mut(addr, t) {
+            match e.status {
+                // Fast local re-acquire of a released read entry (§III-B).
+                Status::RdRel
+                    if mode == Mode::Read
+                        && e.mode == Mode::Read
+                        && m.cfg().lcu_fast_reacquire =>
+                {
+                    e.status = Status::Acq;
+                    let cnt = e.cnt;
+                    self.counters.incr("lcu_fast_reacquires");
+                    self.finish_grant(m, t, addr, mode, false, cnt);
+                    return;
+                }
+                // A grant is parked here (stale or fresh).
+                Status::Rcv => {
+                    self.try_take(m, core, addr, t);
+                    return;
+                }
+                // Entry busy releasing or otherwise unusable; spin in
+                // software and retry.
+                _ => {
+                    let backoff = m.cfg().retry_backoff;
+                    self.arm(m, backoff, TimerKind::RetryAcquire(t));
+                    return;
+                }
+            }
+        }
+        // Allocate a fresh entry.
+        match self.lcus[core].alloc_for_local(addr, t, mode) {
+            Some(e) => {
+                e.status = Status::Issued;
+                let nonblocking = e.kind != EntryKind::Ordinary;
+                let node = Node { tid: t, lcu: core, mode, nonblocking, no_ovf: true };
+                self.counters.incr("lcu_requests");
+                self.to_lrt(m, core, Msg::Request { addr, req: node });
+            }
+            None => {
+                // No entry of any kind: software spin, retry later (§III-D
+                // guarantees the local-request entry frees eventually).
+                self.counters.incr("lcu_exhausted");
+                let backoff = m.cfg().retry_backoff;
+                self.arm(m, backoff, TimerKind::RetryAcquire(t));
+            }
+        }
+    }
+
+    /// Completes a grant to the local thread: bookkeeping + machine grant.
+    fn finish_grant(&mut self, m: &mut Mach, t: ThreadId, addr: Addr, mode: Mode, overflow: bool, cnt: u64) {
+        self.reqs.remove(&t);
+        self.held.insert((t, addr), Held { mode, overflow, cnt });
+        self.checker.on_grant(addr, t, mode);
+        m.grant_lock_in(t, m.cfg().lcu_latency);
+    }
+
+    /// A grant sits in `(lcu, addr, tid)` with status `Rcv`; take it if the
+    /// thread is present and still wants it, otherwise handle timeout /
+    /// abort / migration per §III-C.
+    fn try_take(&mut self, m: &mut Mach, lcu: usize, addr: Addr, tid: ThreadId) {
+        let Some(e) = self.lcus[lcu].get_mut(addr, tid) else { return };
+        if e.status != Status::Rcv {
+            return;
+        }
+        let want = self.reqs.get(&tid).copied();
+        let here = m.core_of(tid).map(|c| c.0 as usize) == Some(lcu) && m.is_scheduled(tid);
+        match want {
+            Some(req) if req.addr == addr && here => {
+                // Normal take.
+                e.status = Status::Acq;
+                let cnt = e.cnt;
+                let mode = e.mode;
+                let uncontended = e.head && e.next.is_none();
+                if uncontended {
+                    // Entry removed to leave room (§III-A case (a)); the LRT
+                    // still records us as owner.
+                    self.lcus[lcu].free(addr, tid);
+                    self.counters.incr("lcu_uncontended_takes");
+                } else {
+                    self.counters.incr("lcu_contended_takes");
+                }
+                self.finish_grant(m, tid, addr, mode, false, cnt);
+            }
+            Some(req) if req.addr == addr && !here => {
+                // Thread migrated or preempted: arm the grant timeout.
+                let timeout = m.cfg().grant_timeout;
+                self.counters.incr("lcu_grant_waits");
+                self.arm(m, timeout, TimerKind::GrantTimeout { lcu, addr, tid });
+            }
+            _ => {
+                // No live request (trylock expired, or a duplicate entry
+                // from before a migration): pass the grant through at once.
+                self.pass_through(m, lcu, addr, tid);
+            }
+        }
+    }
+
+    /// Forwards an unwanted grant: to the next node if any, else releases
+    /// to the LRT / parks it as stale.
+    fn pass_through(&mut self, m: &mut Mach, lcu: usize, addr: Addr, tid: ThreadId) {
+        let (head, cnt, mode, next) = {
+            let Some(e) = self.lcus[lcu].get_mut(addr, tid) else { return };
+            if e.status != Status::Rcv {
+                return;
+            }
+            // New status decided up front; messages sent after the borrow ends.
+            e.status = match (e.next, e.head) {
+                (Some(_), true) | (None, true) => Status::Rel,
+                (Some(_), false) | (None, false) => Status::RdRel,
+            };
+            (e.head, e.cnt, e.mode, e.next)
+        };
+        self.counters.incr("lcu_pass_throughs");
+        match next {
+            Some(n) => {
+                if mode == Mode::Write && head {
+                    // An aborted writer relinquishes its waiting-writer slot.
+                    self.to_lrt(m, lcu, Msg::AbortNotify { addr });
+                }
+                if head {
+                    self.send_head_token(m, lcu, tid, addr, cnt, n, mode == Mode::Read);
+                } else {
+                    // Non-head read grant we do not want: behave as an
+                    // instantly-released intermediate reader.
+                    debug_assert_eq!(mode, Mode::Read);
+                    let g = Msg::DirectGrant { addr, tid: n.tid, head: false, cnt: 0, ack: None };
+                    self.lcu_to_lcu(m, lcu, n.lcu, g);
+                }
+            }
+            None if head => {
+                if mode == Mode::Write {
+                    self.to_lrt(m, lcu, Msg::AbortNotify { addr });
+                }
+                let rel = Msg::ReleaseToLrt { addr, tid, lcu, mode, overflow: false };
+                self.to_lrt(m, lcu, rel);
+            }
+            None => {
+                // Non-head read grant, no next: parked as an instantly
+                // released reader; the head token will flush the entry.
+                debug_assert_eq!(mode, Mode::Read);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Release path
+    // ----------------------------------------------------------------
+
+    /// Releases the lock held via entry `(lcu, addr, tid)`. The entry must
+    /// be in a holding state. Queue maintenance happens off the thread's
+    /// critical path.
+    fn release_entry(&mut self, m: &mut Mach, lcu: usize, addr: Addr, tid: ThreadId) {
+        let e = self.lcus[lcu].get_mut(addr, tid).expect("releasing unknown entry");
+        debug_assert!(matches!(e.status, Status::Acq | Status::Rcv));
+        if e.mode == Mode::Read && !e.head {
+            // Intermediate reader: silent release; wait for the head token
+            // (§III-B). Locally re-acquirable meanwhile.
+            e.status = Status::RdRel;
+            self.counters.incr("lcu_rd_rel");
+            return;
+        }
+        self.release_head(m, lcu, addr, tid);
+    }
+
+    /// Releases a head entry: direct transfer, writer handoff, or LRT
+    /// release.
+    fn release_head(&mut self, m: &mut Mach, lcu: usize, addr: Addr, tid: ThreadId) {
+        let e = self.lcus[lcu].get_mut(addr, tid).expect("head entry");
+        debug_assert!(e.head, "release_head on non-head");
+        let cnt = e.cnt;
+        match e.next {
+            Some(n) => {
+                let from_read = e.mode == Mode::Read;
+                e.status = Status::Rel;
+                self.send_head_token(m, lcu, tid, addr, cnt, n, from_read);
+            }
+            None => {
+                e.status = Status::Rel;
+                self.counters.incr("lcu_lrt_releases");
+                let mode = e.mode;
+                let rel = Msg::ReleaseToLrt { addr, tid, lcu, mode, overflow: false };
+                self.to_lrt(m, lcu, rel);
+            }
+        }
+    }
+
+    /// Passes the queue-head token from a releasing entry to `next`,
+    /// applying the overflow-reader gating: a writer that may coexist with
+    /// overflow-mode readers (`!no_ovf`), or any transfer under the
+    /// via-LRT ablation, is granted by the LRT once the reader count
+    /// drains; everything else transfers directly LCU→LCU. The releasing
+    /// entry must already be in `Rel` status; the LRT acknowledges it.
+    fn send_head_token(
+        &mut self,
+        m: &mut Mach,
+        lcu: usize,
+        releaser: ThreadId,
+        addr: Addr,
+        cnt: u64,
+        next: Node,
+        from_read_session: bool,
+    ) {
+        let gated = from_read_session && next.mode == Mode::Write && !next.no_ovf;
+        if gated || !m.cfg().lcu_direct_transfer {
+            self.counters.incr("lcu_writer_handoffs");
+            let msg = Msg::WriterHandoff { addr, writer: next, cnt: cnt + 1, releaser: (lcu, releaser) };
+            self.to_lrt(m, lcu, msg);
+        } else {
+            self.counters.incr("lcu_direct_transfers");
+            let g = Msg::DirectGrant { addr, tid: next.tid, head: true, cnt: cnt + 1, ack: Some((lcu, releaser)) };
+            self.lcu_to_lcu(m, lcu, next.lcu, g);
+        }
+    }
+
+    /// Makes a parked (FLT) release visible: re-allocates an entry for the
+    /// owner-of-record and releases through the LRT, exactly as an
+    /// uncontended release would have.
+    fn flt_unpark_release(&mut self, m: &mut Mach, core: usize, lock: Addr) {
+        let Some((tid, cnt)) = self.flts[core].remove(&lock) else { return };
+        self.counters.incr("flt_unparks");
+        if self.alloc_service_entry(core, lock, tid, Mode::Write) {
+            let e = self.lcus[core].get_mut(lock, tid).expect("just allocated");
+            e.status = Status::Rel;
+            e.head = true;
+            e.cnt = cnt;
+            let rel = Msg::ReleaseToLrt { addr: lock, tid, lcu: core, mode: Mode::Write, overflow: false };
+            self.to_lrt(m, core, rel);
+        } else {
+            let backoff = m.cfg().retry_backoff;
+            self.arm(
+                m,
+                backoff,
+                TimerKind::RetryRelease { tid, addr: lock, mode: Mode::Write, core, cnt },
+            );
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // LRT message handling
+    // ----------------------------------------------------------------
+
+    fn lrt_handle(&mut self, m: &mut Mach, mem: usize, msg: Msg) {
+        match msg {
+            Msg::Request { addr, req } => self.lrt_request(m, mem, addr, req),
+            Msg::ReleaseToLrt { addr, tid, lcu, mode, overflow } => {
+                self.lrt_release(m, mem, addr, tid, lcu, mode, overflow)
+            }
+            Msg::HeadNotify { addr, node, cnt, ack } => {
+                let lrt = &mut self.lrts[mem];
+                if let Some((e, _)) = lrt.get_mut(addr) {
+                    if cnt > e.cnt {
+                        e.cnt = cnt;
+                        let was_writer_wait = node.mode == Mode::Write;
+                        e.head = Some(node);
+                        if was_writer_wait {
+                            e.waiting_writers = e.waiting_writers.saturating_sub(1);
+                        }
+                    }
+                }
+                if let Some((alcu, atid)) = ack {
+                    self.lrt_to_lcu(m, mem, alcu, 0, Msg::ReleaseAck { addr, tid: atid });
+                }
+            }
+            Msg::WriterHandoff { addr, writer, cnt, releaser } => {
+                let (e, res) = self.lrts[mem].entry_mut(addr);
+                e.cnt = e.cnt.max(cnt);
+                e.head = Some(writer);
+                e.pending_writer = Some((writer, cnt));
+                let penalty = overflow_penalty(m, res);
+                let fire = e.reader_cnt == 0;
+                if fire {
+                    e.pending_writer = None;
+                    e.waiting_writers = e.waiting_writers.saturating_sub(1);
+                }
+                self.lrt_to_lcu(m, mem, releaser.0, penalty, Msg::ReleaseAck { addr, tid: releaser.1 });
+                if fire {
+                    self.counters.incr("lrt_writer_grants");
+                    let gcnt = self.lrts[mem].get_mut(addr).map(|(e, _)| e.cnt).unwrap_or(cnt);
+                    let g = Msg::LrtGrant { addr, tid: writer.tid, head: true, overflow: false, cnt: gcnt };
+                    self.lrt_to_lcu(m, mem, writer.lcu, penalty, g);
+                }
+            }
+            Msg::AbortNotify { addr } => {
+                if let Some((e, _)) = self.lrts[mem].get_mut(addr) {
+                    e.waiting_writers = e.waiting_writers.saturating_sub(1);
+                }
+            }
+            other => panic!("LRT received unexpected message {other:?}"),
+        }
+    }
+
+    fn lrt_request(&mut self, m: &mut Mach, mem: usize, addr: Addr, req: Node) {
+        let now = m.now();
+        let reservation_timeout = m.cfg().reservation_timeout;
+        let (e, res) = self.lrts[mem].entry_mut(addr);
+        let penalty = overflow_penalty(m, res);
+        if e.head.is_none() {
+            // Lock is free (possibly with draining overflow readers or an
+            // active reservation).
+            if let Some((rt, _, expiry)) = e.reservation {
+                if now < expiry && rt != req.tid {
+                    // Reserved for someone else: everyone retries (§III-D).
+                    self.counters.incr("lrt_reservation_denials");
+                    self.lrt_to_lcu(m, mem, req.lcu, penalty, Msg::Retry { addr, tid: req.tid });
+                    return;
+                }
+                e.reservation = None;
+            }
+            if e.reader_cnt > 0 {
+                // Only overflow readers hold the lock.
+                match (req.mode, req.nonblocking) {
+                    (Mode::Read, true) => {
+                        e.reader_cnt += 1;
+                        self.counters.incr("lrt_overflow_grants");
+                        let g = Msg::LrtGrant { addr, tid: req.tid, head: false, overflow: true, cnt: 0 };
+                        self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
+                    }
+                    (Mode::Read, false) => {
+                        // Join the (empty) queue as head of the read session.
+                        e.head = Some(req);
+                        e.tail = Some(req);
+                        e.cnt += 1;
+                        let gcnt = e.cnt;
+                        let g = Msg::LrtGrant { addr, tid: req.tid, head: true, overflow: false, cnt: gcnt };
+                        self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
+                    }
+                    (Mode::Write, false) => {
+                        // Writer must wait for the overflow readers.
+                        e.head = Some(req);
+                        e.tail = Some(req);
+                        e.waiting_writers += 1;
+                        e.pending_writer = Some((req, e.cnt));
+                        self.counters.incr("lrt_writer_gated");
+                    }
+                    (Mode::Write, true) => {
+                        self.deny_nonblocking(m, mem, addr, req, penalty, reservation_timeout);
+                    }
+                }
+                return;
+            }
+            // Truly free: grant as (sole) head.
+            e.head = Some(req);
+            e.tail = Some(req);
+            e.cnt += 1;
+            let gcnt = e.cnt;
+            self.counters.incr("lrt_free_grants");
+            let g = Msg::LrtGrant { addr, tid: req.tid, head: true, overflow: false, cnt: gcnt };
+            self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
+            return;
+        }
+        // Lock taken with a queue (or at least an owner).
+        if req.nonblocking {
+            let head = e.head.expect("checked");
+            let readable = req.mode == Mode::Read
+                && head.mode == Mode::Read
+                && e.waiting_writers == 0
+                && e.pending_writer.is_none();
+            if readable {
+                e.reader_cnt += 1;
+                self.counters.incr("lrt_overflow_grants");
+                let g = Msg::LrtGrant { addr, tid: req.tid, head: false, overflow: true, cnt: 0 };
+                self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
+            } else {
+                self.deny_nonblocking(m, mem, addr, req, penalty, reservation_timeout);
+            }
+            return;
+        }
+        // Ordinary request: enqueue at the tail. Writers are stamped with
+        // whether overflow readers existed — if none did, a read session
+        // may transfer to them directly (the count only drains from here).
+        let mut req = req;
+        req.no_ovf = e.reader_cnt == 0;
+        let old_tail = e.tail.expect("queue with head has tail");
+        e.tail = Some(req);
+        if req.mode == Mode::Write {
+            e.waiting_writers += 1;
+        }
+        self.counters.incr("lrt_forwards");
+        let fwd = Msg::FwdRequest { addr, tail_tid: old_tail.tid, req };
+        self.lrt_to_lcu(m, mem, old_tail.lcu, penalty, fwd);
+    }
+
+    fn deny_nonblocking(&mut self, m: &mut Mach, mem: usize, addr: Addr, req: Node, penalty: Cycles, window: Cycles) {
+        let now = m.now();
+        let reservations_on = m.cfg().lcu_reservation;
+        let (e, _) = self.lrts[mem].entry_mut(addr);
+        let expired = e.reservation.is_none_or(|(_, _, exp)| exp <= now);
+        if expired && reservations_on {
+            e.reservation = Some((req.tid, req.lcu, now + window));
+            self.counters.incr("lrt_reservations");
+        }
+        self.counters.incr("lrt_retries");
+        self.lrt_to_lcu(m, mem, req.lcu, penalty, Msg::Retry { addr, tid: req.tid });
+    }
+
+    fn lrt_release(
+        &mut self,
+        m: &mut Mach,
+        mem: usize,
+        addr: Addr,
+        tid: ThreadId,
+        lcu: usize,
+        mode: Mode,
+        overflow: bool,
+    ) {
+        let now = m.now();
+        let (e, res) = self.lrts[mem].entry_mut(addr);
+        let penalty = overflow_penalty(m, res);
+        if overflow {
+            debug_assert!(e.reader_cnt > 0, "overflow release with zero count");
+            e.reader_cnt = e.reader_cnt.saturating_sub(1);
+            self.counters.incr("lrt_overflow_releases");
+            if e.reader_cnt == 0 {
+                if let Some((writer, wcnt)) = e.pending_writer.take() {
+                    e.waiting_writers = e.waiting_writers.saturating_sub(1);
+                    e.cnt = e.cnt.max(wcnt);
+                    let gcnt = e.cnt;
+                    self.counters.incr("lrt_writer_grants");
+                    let g = Msg::LrtGrant { addr, tid: writer.tid, head: true, overflow: false, cnt: gcnt };
+                    self.lrt_to_lcu(m, mem, writer.lcu, penalty, g);
+                }
+            }
+            self.lrts[mem].remove_if_dead(addr, now);
+            return;
+        }
+        let Some(head) = e.head else {
+            panic!("release of free lock {addr} by {tid:?}");
+        };
+        let tail = e.tail.expect("tail");
+        if head.tid == tid && head.lcu == lcu {
+            if tail.tid == tid && tail.lcu == lcu {
+                // Sole node: the lock becomes free.
+                e.head = None;
+                e.tail = None;
+                self.counters.incr("lrt_frees");
+                self.lrt_to_lcu(m, mem, lcu, penalty, Msg::ReleaseAck { addr, tid });
+                self.lrts[mem].remove_if_dead(addr, now);
+            } else {
+                // Race (§III-A): a new requestor was recorded as tail while
+                // this release was in flight; the releasing entry will serve
+                // the forwarded request directly.
+                self.counters.incr("lrt_release_retries");
+                self.lrt_to_lcu(m, mem, lcu, penalty, Msg::Retry { addr, tid });
+            }
+            return;
+        }
+        // Release from an LCU that is not the recorded head: a migrated
+        // owner (§III-C). Forward to the head LCU; it hops along the queue
+        // if needed.
+        self.counters.incr("lrt_remote_releases");
+        let fwd = Msg::FwdRelease { addr, tid, mode };
+        self.lrt_to_lcu(m, mem, head.lcu, penalty, fwd);
+    }
+
+    // ----------------------------------------------------------------
+    // LCU message handling
+    // ----------------------------------------------------------------
+
+    fn lcu_handle(&mut self, m: &mut Mach, at: usize, msg: Msg) {
+        match msg {
+            Msg::LrtGrant { addr, tid, head, overflow, cnt } => {
+                if overflow {
+                    // Overflow-mode read grant: the nonblocking entry is
+                    // freed; the thread holds without queue membership.
+                    let core = at;
+                    if self.lcus[core].get(addr, tid).is_some() {
+                        self.lcus[core].free(addr, tid);
+                    }
+                    if self.reqs.get(&tid).map(|r| r.addr) != Some(addr) {
+                        // Trylock expired while the grant was in flight:
+                        // give it straight back.
+                        let rel = Msg::ReleaseToLrt { addr, tid, lcu: core, mode: Mode::Read, overflow: true };
+                        self.to_lrt(m, core, rel);
+                        return;
+                    }
+                    self.counters.incr("lcu_overflow_takes");
+                    self.finish_grant(m, tid, addr, Mode::Read, true, 0);
+                    return;
+                }
+                let core = at;
+                if self.lcus[core].get(addr, tid).is_none() {
+                    // Entry vanished (aborted + freed): the LRT granted us a
+                    // lock nobody wants; the grant is dropped and the LRT
+                    // entry will be repaired by the next requestor's race
+                    // handling.
+                    self.counters.incr("lcu_orphan_grants");
+                    return;
+                }
+                self.counters.incr("lcu_lrt_grants");
+                // Arrival handling is identical to a direct grant (the LRT
+                // already points at us, so no acknowledgement is owed).
+                self.lcu_direct_grant(m, core, addr, tid, head, cnt, None);
+            }
+            Msg::FwdRequest { addr, tail_tid, req } => self.lcu_fwd_request(m, at, addr, tail_tid, req),
+            Msg::Retry { addr, tid } => {
+                // Either a nonblocking denial (entry Issued) or a release
+                // race (entry Rel).
+                let core = at;
+                if self.lcus[core].get(addr, tid).is_some() {
+                    let e = self.lcus[core].get_mut(addr, tid).expect("entry");
+                    match e.status {
+                        Status::Issued => {
+                            // Nonblocking request denied: free the entry and
+                            // retry from software after a backoff.
+                            self.lcus[core].free(addr, tid);
+                            self.counters.incr("lcu_nb_retries");
+                            if self.reqs.contains_key(&tid) {
+                                let backoff = m.cfg().retry_backoff;
+                                self.arm(m, backoff, TimerKind::RetryAcquire(tid));
+                            }
+                        }
+                        Status::Rel => {
+                            // Release race: keep the entry; the forwarded
+                            // request will arrive and we transfer directly.
+                            self.counters.incr("lcu_release_races");
+                        }
+                        other => panic!("Retry at entry in {other:?}"),
+                    }
+                }
+            }
+            Msg::ReleaseAck { addr, tid } => {
+                if let Some(e) = self.lcus[at].get(addr, tid) {
+                    debug_assert_eq!(e.status, Status::Rel, "ack for non-releasing entry");
+                    self.lcus[at].free(addr, tid);
+                    self.counters.incr("lcu_entry_frees");
+                }
+            }
+            Msg::DirectGrant { addr, tid, head, cnt, ack } => {
+                self.lcu_direct_grant(m, at, addr, tid, head, cnt, ack)
+            }
+            Msg::Wait { addr, tid } => {
+                if let Some(e) = self.lcus[at].get_mut(addr, tid) {
+                    if e.status == Status::Issued {
+                        e.status = Status::Wait;
+                    }
+                }
+            }
+            Msg::FwdRelease { addr, tid, mode } => self.lcu_fwd_release(m, at, addr, tid, mode),
+            other => panic!("LCU received unexpected message {other:?}"),
+        }
+    }
+
+    /// Finds which LCU holds an entry for `(addr, tid)`. Protocol messages
+    /// address entries by tuple; physical delivery in this model is keyed
+    /// by the same tuple, so a linear scan over cores stands in for the
+    /// per-core table lookup.
+    fn find_entry_core(&self, addr: Addr, tid: ThreadId) -> Option<usize> {
+        self.lcus.iter().position(|l| l.get(addr, tid).is_some())
+    }
+
+    fn lcu_fwd_request(&mut self, m: &mut Mach, at: usize, addr: Addr, tail_tid: ThreadId, req: Node) {
+        // Locate the tail entry at the addressed LCU; if the owner took the
+        // lock uncontended the entry was deallocated here and must be
+        // re-allocated (§III-A case (b)).
+        let core = at;
+        // A remote requestor appeared for a parked lock: unpark the
+        // deferred release and transfer to the requestor directly.
+        if let Some(&(owner, cnt)) = self.flts[core].get(&addr) {
+            if owner == tail_tid {
+                self.flts[core].remove(&addr);
+                self.counters.incr("flt_fwd_unparks");
+                if self.lcus[core]
+                    .alloc(addr, tail_tid, Mode::Write, EntryKind::Ordinary)
+                    .is_none()
+                {
+                    // Table full: repark and NACK-redeliver.
+                    self.flts[core].insert(addr, (owner, cnt));
+                    let backoff = m.cfg().retry_backoff;
+                    self.arm(m, backoff, TimerKind::RedeliverFwd { at, addr, tail_tid, req });
+                    return;
+                }
+                let e = self.lcus[core].get_mut(addr, tail_tid).expect("just allocated");
+                e.status = Status::Rel;
+                e.head = true;
+                e.cnt = cnt;
+                e.next = Some(req);
+                let g = Msg::DirectGrant { addr, tid: req.tid, head: true, cnt: cnt + 1, ack: Some((core, tail_tid)) };
+                self.counters.incr("lcu_direct_transfers");
+                self.lcu_to_lcu(m, core, req.lcu, g);
+                return;
+            }
+        }
+        if self.lcus[core].get(addr, tail_tid).is_none() {
+            let Some(held) = self.held.get(&(tail_tid, addr)).copied() else {
+                // The owner's release is racing with this forward: its
+                // ReleaseToLrt will get a Retry (the LRT already recorded
+                // the new tail) and its entry will be waiting for exactly
+                // this message. Redeliver until that entry exists.
+                self.counters.incr("lcu_fwd_orphans");
+                let backoff = m.cfg().retry_backoff;
+                self.arm(m, backoff, TimerKind::RedeliverFwd { at, addr, tail_tid, req });
+                return;
+            };
+            // Re-allocation creates a *queue node*, so only ordinary
+            // entries qualify (nonblocking entries never join queues,
+            // §III-D); NACK-redeliver until one frees. Releases keep making
+            // progress through the remote-request entry, which frees
+            // ordinary entries over time.
+            if self.lcus[core]
+                .alloc(addr, tail_tid, held.mode, EntryKind::Ordinary)
+                .is_none()
+            {
+                self.counters.incr("lcu_fwd_noentry");
+                let backoff = m.cfg().retry_backoff;
+                self.arm(m, backoff, TimerKind::RedeliverFwd { at, addr, tail_tid, req });
+                return;
+            }
+            let e = self.lcus[core].get_mut(addr, tail_tid).expect("just allocated");
+            e.status = Status::Acq;
+            e.head = true;
+            e.cnt = held.cnt;
+            self.counters.incr("lcu_reallocs");
+        }
+        let e = self.lcus[core].get_mut(addr, tail_tid).expect("tail entry");
+        if e.next.is_some() {
+            // Stale forward (should not happen: the LRT serializes tail
+            // updates); count and drop.
+            self.counters.incr("lcu_stale_forwards");
+            return;
+        }
+        e.next = Some(req);
+        let shared_read = e.mode == Mode::Read && req.mode == Mode::Read && e.read_session();
+        let stale = e.status == Status::Rcv && e.stale_grant;
+        let releasing = e.status == Status::Rel;
+        if shared_read {
+            // Concurrent reader: grant immediately (non-head).
+            self.counters.incr("lcu_read_shares");
+            let g = Msg::DirectGrant { addr, tid: req.tid, head: false, cnt: 0, ack: None };
+            self.lcu_to_lcu(m, core, req.lcu, g);
+        } else if releasing {
+            // Release race resolution: transfer to the requestor (gated if
+            // it is a writer that may coexist with overflow readers).
+            let cnt = e.cnt;
+            let from_read = e.mode == Mode::Read;
+            self.counters.incr("lcu_race_transfers");
+            self.send_head_token(m, core, tail_tid, addr, cnt, req, from_read);
+        } else if stale {
+            // Grant parked with no taker: pass it on at once.
+            self.pass_through(m, core, addr, tail_tid);
+        } else {
+            let w = Msg::Wait { addr, tid: req.tid };
+            self.lcu_to_lcu(m, core, req.lcu, w);
+        }
+    }
+
+    fn lcu_direct_grant(
+        &mut self,
+        m: &mut Mach,
+        at: usize,
+        addr: Addr,
+        tid: ThreadId,
+        head: bool,
+        cnt: u64,
+        ack: Option<(usize, ThreadId)>,
+    ) {
+        let core = at;
+        if self.lcus[core].get(addr, tid).is_none() {
+            self.counters.incr("lcu_orphan_grants");
+            return;
+        }
+        let status = self.lcus[core].get(addr, tid).expect("entry").status;
+        match status {
+            Status::Issued | Status::Wait => {
+                let notify = {
+                    let e = self.lcus[core].get_mut(addr, tid).expect("entry");
+                    e.status = Status::Rcv;
+                    e.head |= head;
+                    if head {
+                        e.cnt = cnt;
+                        Some(Node { tid, lcu: core, mode: e.mode, nonblocking: false, no_ovf: true })
+                    } else {
+                        debug_assert!(ack.is_none());
+                        None
+                    }
+                };
+                if let Some(node) = notify {
+                    self.counters.incr("lcu_head_notifies");
+                    self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
+                }
+                self.propagate_read_grant(m, core, addr, tid);
+                self.try_take(m, core, addr, tid);
+            }
+            Status::Rcv | Status::Acq => {
+                // A reader that already holds (or received) the lock gets
+                // the head token.
+                debug_assert!(head, "duplicate non-head grant");
+                let (node, was_rcv) = {
+                    let e = self.lcus[core].get_mut(addr, tid).expect("entry");
+                    e.head = true;
+                    e.cnt = cnt;
+                    (
+                        Node { tid, lcu: core, mode: e.mode, nonblocking: false, no_ovf: true },
+                        e.status == Status::Rcv,
+                    )
+                };
+                self.counters.incr("lcu_head_notifies");
+                self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
+                if was_rcv {
+                    self.try_take(m, core, addr, tid);
+                }
+            }
+            Status::RdRel => {
+                // Token arrives at a released intermediate reader: bypass
+                // it to the next node, or release to the LRT if last.
+                debug_assert!(head, "non-head grant to RdRel entry");
+                let next = self.lcus[core].get(addr, tid).expect("entry").next;
+                self.counters.incr("lcu_token_bypasses");
+                match next {
+                    Some(n) if n.mode == Mode::Write && (!n.no_ovf || !m.cfg().lcu_direct_transfer) => {
+                        // The writer may coexist with overflow readers: the
+                        // LRT must gate its grant. Become the head first
+                        // (acknowledging the original releaser), then hand
+                        // off; our entry awaits the handoff's ack.
+                        {
+                            let e = self.lcus[core].get_mut(addr, tid).expect("entry");
+                            e.status = Status::Rel;
+                            e.head = true;
+                            e.cnt = cnt;
+                        }
+                        let node = Node { tid, lcu: core, mode: Mode::Read, nonblocking: false, no_ovf: true };
+                        self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
+                        self.send_head_token(m, core, tid, addr, cnt, n, true);
+                    }
+                    Some(n) => {
+                        self.lcus[core].free(addr, tid);
+                        let g = Msg::DirectGrant { addr, tid: n.tid, head: true, cnt: cnt + 1, ack };
+                        self.lcu_to_lcu(m, core, n.lcu, g);
+                    }
+                    None => {
+                        // Last reader in the session: the lock frees. We
+                        // must both notify the LRT (becoming head) and
+                        // immediately release.
+                        {
+                            let e = self.lcus[core].get_mut(addr, tid).expect("entry");
+                            e.status = Status::Rel;
+                            e.head = true;
+                            e.cnt = cnt;
+                        }
+                        let node = Node { tid, lcu: core, mode: Mode::Read, nonblocking: false, no_ovf: true };
+                        self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
+                        let rel = Msg::ReleaseToLrt { addr, tid, lcu: core, mode: Mode::Read, overflow: false };
+                        self.to_lrt(m, core, rel);
+                    }
+                }
+            }
+            Status::Rel => {
+                // Grant reached an entry that is already releasing — the
+                // release-race transfer already happened; drop.
+                self.counters.incr("lcu_grant_to_releasing");
+            }
+        }
+    }
+
+    /// If this reader entry holds a grant and its next is also a reader
+    /// that has not been granted yet, propagate the (non-head) grant.
+    fn propagate_read_grant(&mut self, m: &mut Mach, core: usize, addr: Addr, tid: ThreadId) {
+        let e = self.lcus[core].get_mut(addr, tid).expect("entry");
+        if e.mode != Mode::Read || !matches!(e.status, Status::Rcv | Status::Acq) {
+            return;
+        }
+        if let Some(n) = e.next {
+            if n.mode == Mode::Read {
+                self.counters.incr("lcu_read_propagations");
+                let g = Msg::DirectGrant { addr, tid: n.tid, head: false, cnt: 0, ack: None };
+                self.lcu_to_lcu(m, core, n.lcu, g);
+            }
+        }
+    }
+
+    fn lcu_fwd_release(&mut self, m: &mut Mach, at: usize, addr: Addr, tid: ThreadId, mode: Mode) {
+        // Look at the addressed LCU first; if the entry moved (reader chain
+        // traversal), fall back to locating it anywhere. In hardware the
+        // message hops next-pointer by next-pointer; the tuple lookup
+        // stands in for the traversal (the timing difference is a few
+        // control hops on an already off-critical-path operation).
+        let found = if self.lcus[at].get(addr, tid).is_some() {
+            Some(at)
+        } else {
+            self.find_entry_core(addr, tid)
+        };
+        if let Some(core) = found {
+            let st = self.lcus[core].get(addr, tid).expect("entry").status;
+            match st {
+                Status::Acq | Status::Rcv => {
+                    self.counters.incr("lcu_remote_release_served");
+                    // Make sure a parked Rcv becomes a real hold first.
+                    if st == Status::Rcv {
+                        let e = self.lcus[core].get_mut(addr, tid).expect("entry");
+                        e.status = Status::Acq;
+                    }
+                    self.release_entry(m, core, addr, tid);
+                }
+                _ => {
+                    self.counters.incr("lcu_remote_release_dropped");
+                }
+            }
+        } else {
+            let _ = mode;
+            self.counters.incr("lcu_remote_release_missing");
+        }
+    }
+}
+
+/// Extra LRT latency when the entry lives in the memory overflow table.
+fn overflow_penalty(m: &Mach, res: Residency) -> Cycles {
+    match res {
+        Residency::Table => 0,
+        Residency::Overflow => m.cfg().lrt_overflow_latency,
+    }
+}
+
+/// An LCU-bound message with its destination core: protocol messages are
+/// physically addressed to a specific LCU, which matters when a migrated
+/// thread briefly has entries at two LCUs.
+struct ToLcu {
+    core: usize,
+    msg: Msg,
+}
+
+/// Same-core transfers are routed through a loop via the home memory
+/// endpoint to keep using the wire abstraction; the payload marks them.
+struct LoopBack(ToLcu);
+
+impl LockBackend for LcuBackend {
+    fn name(&self) -> &'static str {
+        "lcu"
+    }
+
+    fn on_acquire(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode, try_for: Option<Cycles>) {
+        self.ensure_init(m);
+        assert!(
+            !self.reqs.contains_key(&t),
+            "thread {t:?} already has an acquire outstanding"
+        );
+        assert!(
+            !self.held.contains_key(&(t, lock)),
+            "thread {t:?} re-acquiring held lock {lock}"
+        );
+        let core = m.core_of(t).expect("acquire from scheduled thread").0 as usize;
+        // FLT fast path (§IV-C): the same thread re-acquiring a lock it
+        // parked at this core takes it locally, like a biased lock.
+        if let Some(&(owner, cnt)) = self.flts[core].get(&lock) {
+            if owner == t && mode == Mode::Write {
+                self.flts[core].remove(&lock);
+                self.counters.incr("flt_hits");
+                self.held.insert((t, lock), Held { mode, overflow: false, cnt });
+                self.checker.on_grant(lock, t, mode);
+                m.grant_lock_in(t, m.cfg().lcu_latency);
+                return;
+            }
+            // A different local thread (or a read acquire): the parked
+            // release must become visible first.
+            self.flt_unpark_release(m, core, lock);
+        }
+        self.reqs.insert(t, Req { addr: lock, mode, core, needs_reissue: false });
+        if let Some(budget) = try_for {
+            if budget == 0 {
+                // Degenerate trylock: single attempt semantics still need a
+                // request round-trip; give it one retry-backoff window.
+                let backoff = m.cfg().retry_backoff;
+                self.arm(m, backoff, TimerKind::TryExpire(t));
+            } else {
+                self.arm(m, budget, TimerKind::TryExpire(t));
+            }
+        }
+        self.try_start_request(m, t);
+    }
+
+    fn on_release(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode) {
+        self.ensure_init(m);
+        let held = self
+            .held
+            .remove(&(t, lock))
+            .unwrap_or_else(|| panic!("{t:?} releasing {lock} it does not hold"));
+        debug_assert_eq!(held.mode, mode, "release mode mismatch");
+        self.checker.on_release(lock, t, mode);
+        let core = m.core_of(t).expect("release from scheduled thread").0 as usize;
+        let lcu_lat = m.cfg().lcu_latency;
+        if held.overflow {
+            // Overflow readers have no entry; release goes straight home.
+            let rel = Msg::ReleaseToLrt { addr: lock, tid: t, lcu: core, mode, overflow: true };
+            self.to_lrt(m, core, rel);
+            m.complete_release_in(t, lcu_lat);
+            return;
+        }
+        let local = self.lcus[core].get(lock, t).is_some();
+        match (local, self.find_entry_core(lock, t)) {
+            (true, _) => {
+                self.release_entry(m, core, lock, t);
+            }
+            (false, Some(_remote_core)) => {
+                // The holding entry is on another core (we migrated while
+                // holding). Send the release to the LRT, which forwards it
+                // to the entry (§III-C remote release).
+                self.counters.incr("lcu_remote_release_sent");
+                let rel = Msg::ReleaseToLrt { addr: lock, tid: t, lcu: core, mode, overflow: false };
+                self.to_lrt(m, core, rel);
+            }
+            (false, None) if mode == Mode::Write
+                && m.cfg().flt_entries > 0
+                && self.lcus[core].get(lock, t).is_none() =>
+            {
+                // FLT (§IV-C): park the uncontended write release locally.
+                // The LRT keeps recording us as owner; a forwarded request
+                // unparks and transfers.
+                if self.flts[core].len() >= m.cfg().flt_entries {
+                    // Evict the oldest park by making its release visible.
+                    if let Some(&victim) = self.flts[core].keys().next() {
+                        self.flt_unpark_release(m, core, victim);
+                    }
+                }
+                self.flts[core].insert(lock, (t, held.cnt));
+                self.counters.incr("flt_parks");
+            }
+            (false, None) => {
+                // Uncontended hold: the entry was deallocated at take time.
+                // Re-allocate and release through the LRT (§III-A). If no
+                // entry is free (even the remote-request one), retry the
+                // protocol part shortly — the thread itself proceeds.
+                if self.alloc_service_entry(core, lock, t, mode) {
+                    let e = self.lcus[core].get_mut(lock, t).expect("just allocated");
+                    e.status = Status::Rel;
+                    e.head = true;
+                    e.cnt = held.cnt;
+                    self.counters.incr("lcu_uncontended_releases");
+                    let rel = Msg::ReleaseToLrt { addr: lock, tid: t, lcu: core, mode, overflow: false };
+                    self.to_lrt(m, core, rel);
+                } else {
+                    // The rel instruction spins until an entry frees; the
+                    // thread stays blocked in the release meanwhile.
+                    self.counters.incr("lcu_release_noentry");
+                    let backoff = m.cfg().retry_backoff;
+                    self.arm(
+                        m,
+                        backoff,
+                        TimerKind::RetryRelease { tid: t, addr: lock, mode, core, cnt: held.cnt },
+                    );
+                    return;
+                }
+            }
+        }
+        m.complete_release_in(t, lcu_lat);
+    }
+
+    fn on_wire(&mut self, m: &mut Mach, payload: Box<dyn Any>) {
+        self.ensure_init(m);
+        let payload = match payload.downcast::<LoopBack>() {
+            Ok(lb) => {
+                // Same-core transfer bounced via the home node: handle as a
+                // normal LCU message now.
+                self.lcu_handle(m, lb.0.core, lb.0.msg);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<ToLcu>() {
+            Ok(tl) => {
+                self.lcu_handle(m, tl.core, tl.msg);
+                return;
+            }
+            Err(p) => p,
+        };
+        let msg = *payload.downcast::<Msg>().expect("unknown wire payload");
+        let mem = m.home_of(msg.addr());
+        self.lrt_handle(m, mem, msg);
+    }
+
+    fn on_timer(&mut self, m: &mut Mach, token: u64) {
+        self.ensure_init(m);
+        let Some(kind) = self.timers.remove(&token) else { return };
+        match kind {
+            TimerKind::TryExpire(t) => {
+                if let Some(req) = self.reqs.get(&t).copied() {
+                    self.counters.incr("lcu_try_expires");
+                    self.reqs.remove(&t);
+                    // Entry cleanup is lazy: any grant that arrives for the
+                    // abandoned entry passes through. If the entry is still
+                    // merely Issued/Wait, it stays queued and forwards.
+                    m.fail_lock(t);
+                    let _ = req;
+                }
+            }
+            TimerKind::GrantTimeout { lcu, addr, tid } => {
+                let still_rcv = self.lcus[lcu]
+                    .get(addr, tid)
+                    .map(|e| e.status == Status::Rcv)
+                    .unwrap_or(false);
+                if !still_rcv {
+                    return;
+                }
+                // Thread returned meanwhile?
+                let here = m.core_of(tid).map(|c| c.0 as usize) == Some(lcu) && m.is_scheduled(tid);
+                if here && self.reqs.get(&tid).is_some_and(|r| r.addr == addr) {
+                    self.try_take(m, lcu, addr, tid);
+                    return;
+                }
+                self.counters.incr("lcu_grant_timeouts");
+                let has_next = self.lcus[lcu].get(addr, tid).and_then(|e| e.next).is_some();
+                if has_next {
+                    self.pass_through(m, lcu, addr, tid);
+                    if let Some(r) = self.reqs.get_mut(&tid) {
+                        if r.addr == addr {
+                            r.needs_reissue = true;
+                        }
+                    }
+                } else if self.reqs.get(&tid).is_some_and(|r| r.addr == addr) {
+                    // Keep the grant parked for the absent thread; new
+                    // requestors will flush it via the stale flag.
+                    if let Some(e) = self.lcus[lcu].get_mut(addr, tid) {
+                        e.stale_grant = true;
+                    }
+                } else {
+                    // Nobody wants it: release.
+                    self.pass_through(m, lcu, addr, tid);
+                }
+            }
+            TimerKind::RetryAcquire(t) => {
+                if self.reqs.contains_key(&t) {
+                    self.try_start_request(m, t);
+                }
+            }
+            TimerKind::RetryRelease { tid, addr, mode, core, cnt } => {
+                if self.alloc_service_entry(core, addr, tid, mode) {
+                    let e = self.lcus[core].get_mut(addr, tid).expect("just allocated");
+                    e.status = Status::Rel;
+                    e.head = true;
+                    e.cnt = cnt;
+                    self.counters.incr("lcu_uncontended_releases");
+                    let rel = Msg::ReleaseToLrt { addr, tid, lcu: core, mode, overflow: false };
+                    self.to_lrt(m, core, rel);
+                    m.complete_release_in(tid, m.cfg().lcu_latency);
+                } else {
+                    let backoff = m.cfg().retry_backoff;
+                    self.arm(m, backoff, TimerKind::RetryRelease { tid, addr, mode, core, cnt });
+                }
+            }
+            TimerKind::RedeliverFwd { at, addr, tail_tid, req } => {
+                self.counters.incr("lcu_fwd_redeliveries");
+                self.lcu_fwd_request(m, at, addr, tail_tid, req);
+            }
+        }
+    }
+
+    fn on_thread_scheduled(&mut self, m: &mut Mach, t: ThreadId, core: CoreId) {
+        self.ensure_init(m);
+        let Some(req) = self.reqs.get(&t).copied() else { return };
+        let core = core.0 as usize;
+        if req.core == core && !req.needs_reissue {
+            // Back on the same core: a parked grant may be waiting.
+            if self.lcus[core].get(req.addr, t).map(|e| e.status) == Some(Status::Rcv) {
+                self.try_take(m, core, req.addr, t);
+            }
+            return;
+        }
+        // Migrated (or told to re-issue): issue a fresh request from the
+        // new core; stale entries elsewhere pass grants through on timeout.
+        self.counters.incr("lcu_reissues");
+        self.try_start_request(m, t);
+    }
+
+    fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, lcu) in self.lcus.iter().enumerate() {
+            for e in lcu.iter() {
+                writeln!(
+                    out,
+                    "LCU{i}: addr={} tid={:?} mode={:?} status={:?} head={} next={:?} cnt={}",
+                    e.addr, e.tid, e.mode, e.status, e.head, e.next, e.cnt
+                )
+                .ok();
+            }
+        }
+        for (t, r) in &self.reqs {
+            writeln!(out, "req {t:?}: addr={} mode={:?} core={} reissue={}", r.addr, r.mode, r.core, r.needs_reissue).ok();
+        }
+        for (i, flt) in self.flts.iter().enumerate() {
+            for (a, (t, cnt)) in flt {
+                writeln!(out, "FLT{i}: {a} parked by {t:?} cnt={cnt}").ok();
+            }
+        }
+        for ((t, a), h) in &self.held {
+            writeln!(out, "held {t:?} {a}: mode={:?} overflow={} cnt={}", h.mode, h.overflow, h.cnt).ok();
+        }
+        for (i, lrt) in self.lrts.iter().enumerate() {
+            for set in lrt.debug_sets() {
+                for e in set {
+                    writeln!(
+                        out,
+                        "LRT{i}: addr={} head={:?} tail={:?} rdr={} ww={} pw={:?} cnt={}",
+                        e.addr, e.head, e.tail, e.reader_cnt, e.waiting_writers, e.pending_writer, e.cnt
+                    )
+                    .ok();
+                }
+            }
+        }
+        let mut c = self.counters.clone();
+        for l in &self.lrts {
+            c.add("lrt_evictions", l.evictions);
+        }
+        for (k, v) in c.iter() {
+            writeln!(out, "ctr {k} = {v}").ok();
+        }
+        out
+    }
+
+    fn counters(&self) -> Counters {
+        let mut c = self.counters.clone();
+        let mut ev = 0;
+        let mut oh = 0;
+        for l in &self.lrts {
+            ev += l.evictions;
+            oh += l.overflow_hits;
+        }
+        c.add("lrt_evictions", ev);
+        c.add("lrt_overflow_hits", oh);
+        c
+    }
+}

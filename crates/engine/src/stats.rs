@@ -1,0 +1,402 @@
+//! Statistics collection: counters, running moments, histograms and
+//! confidence intervals.
+//!
+//! The experiment harness reports per-configuration means with 95% confidence
+//! intervals across repeated runs (mirroring the paper's Figure 13 error
+//! bars), so this module provides [`Summary`] for cross-run aggregation and
+//! [`Running`] for intra-run accumulation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Incrementally computed mean/variance/min/max over a stream of samples
+/// (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use locksim_engine::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     r.add(x);
+/// }
+/// assert_eq!(r.count(), 8);
+/// assert!((r.mean() - 5.0).abs() < 1e-12);
+/// assert!((r.population_stddev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population variance (dividing by n; 0 if empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Unbiased sample variance (dividing by n-1; 0 if fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval of the mean, using the
+    /// normal approximation (adequate for the ≥5 repetitions the harness
+    /// runs). Zero for fewer than two samples.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.sample_stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Summarises into a [`Summary`] snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean(),
+            ci95: self.ci95_half_width(),
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A point-in-time snapshot of a [`Running`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// 95% confidence-interval half width.
+    pub ci95: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} ±{:.1} (n={})", self.mean, self.ci95, self.count)
+    }
+}
+
+/// A log-scaled histogram for latency-like quantities (cycle counts spanning
+/// several orders of magnitude).
+///
+/// Buckets are powers of two: bucket *k* holds samples in `[2^k, 2^(k+1))`,
+/// with bucket 0 also holding zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, value: u64) {
+        let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() - 1 };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates `(bucket_low_bound, count)` in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&k, &c)| (1u64 << k, c))
+    }
+
+    /// Approximate quantile (returns the low bound of the bucket containing
+    /// the q-quantile sample). `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (&k, &c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return Some(1u64 << k);
+            }
+        }
+        self.buckets.keys().next_back().map(|&k| 1u64 << k)
+    }
+}
+
+/// A named bundle of monotonically increasing event counters.
+///
+/// Components count protocol events (messages sent, retries, grants,
+/// overflows, ...) into a `Counters` and the harness folds them into reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.map.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Folds another bundle into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_empty_is_sane() {
+        let r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.sample_variance(), 0.0);
+        assert_eq!(r.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn running_single_sample() {
+        let mut r = Running::new();
+        r.add(42.0);
+        assert_eq!(r.mean(), 42.0);
+        assert_eq!(r.min(), 42.0);
+        assert_eq!(r.max(), 42.0);
+        assert_eq!(r.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn running_matches_naive_computation() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 17) as f64).collect();
+        let mut r = Running::new();
+        for &x in &xs {
+            r.add(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((r.mean() - mean).abs() < 1e-9);
+        assert!((r.sample_variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(x)
+            } else {
+                b.add(x)
+            }
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Running::new();
+        a.add(1.0);
+        a.add(3.0);
+        let before = a.clone();
+        a.merge(&Running::new());
+        assert_eq!(a, before);
+        let mut empty = Running::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = Running::new();
+        let mut large = Running::new();
+        for i in 0..10 {
+            small.add((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.add((i % 3) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let mut r = Running::new();
+        r.add(10.0);
+        r.add(20.0);
+        let s = format!("{}", r.summary());
+        assert!(s.contains("15.0"));
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        h.add(0);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(1024);
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(buckets, vec![(1, 2), (2, 2), (1024, 1)]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.add(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(1.0), Some(512)); // bucket [512, 1024) holds 1000
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Counters::new();
+        a.incr("msgs");
+        a.add("msgs", 4);
+        a.incr("retries");
+        let mut b = Counters::new();
+        b.add("msgs", 10);
+        a.merge(&b);
+        assert_eq!(a.get("msgs"), 15);
+        assert_eq!(a.get("retries"), 1);
+        assert_eq!(a.get("absent"), 0);
+        let names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["msgs", "retries"]);
+    }
+}

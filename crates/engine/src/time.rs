@@ -1,0 +1,159 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration measured in simulated clock cycles.
+pub type Cycles = u64;
+
+/// An absolute point in simulated time, measured in clock cycles since the
+/// start of the simulation.
+///
+/// `Time` is a newtype over [`Cycles`] so that absolute times and durations
+/// cannot be confused: `Time + Cycles -> Time` and `Time - Time -> Cycles`
+/// are defined, but `Time + Time` is not.
+///
+/// # Example
+///
+/// ```
+/// use locksim_engine::Time;
+///
+/// let t = Time::ZERO + 100;
+/// assert_eq!(t.cycles(), 100);
+/// assert_eq!(t - Time::from_cycles(40), 60);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(Cycles);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a `Time` from an absolute cycle count.
+    #[inline]
+    pub const fn from_cycles(cycles: Cycles) -> Self {
+        Time(cycles)
+    }
+
+    /// Returns the absolute cycle count.
+    #[inline]
+    pub const fn cycles(self) -> Cycles {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Cycles {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Add<Cycles> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<Cycles> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Cycles;
+
+    /// Duration between two absolute times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Cycles {
+        debug_assert!(self.0 >= rhs.0, "time went backwards: {self:?} - {rhs:?}");
+        self.0 - rhs.0
+    }
+}
+
+impl Sum<Cycles> for Time {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Time {
+        Time(iter.sum())
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Time::default(), Time::ZERO);
+        assert_eq!(Time::ZERO.cycles(), 0);
+    }
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let t = Time::from_cycles(1_000);
+        let later = t + 234;
+        assert_eq!(later - t, 234);
+        assert_eq!(later.cycles(), 1_234);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = Time::ZERO;
+        t += 7;
+        t += 3;
+        assert_eq!(t, Time::from_cycles(10));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time::from_cycles(5);
+        let b = Time::from_cycles(9);
+        assert_eq!(b.saturating_since(a), 4);
+        assert_eq!(a.saturating_since(b), 0);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = Time::from_cycles(5);
+        let b = Time::from_cycles(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn ordering_follows_cycles() {
+        assert!(Time::from_cycles(1) < Time::from_cycles(2));
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        assert_eq!(format!("{:?}", Time::from_cycles(42)), "42cy");
+        assert_eq!(format!("{}", Time::from_cycles(42)), "42");
+    }
+}

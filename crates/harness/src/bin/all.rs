@@ -1,0 +1,19 @@
+//! Regenerates every figure and table.
+fn main() {
+    let figs: &[(&str, fn() -> Vec<locksim_harness::Table>)] = &[
+        ("fig1", locksim_harness::figs::fig1),
+        ("fig8", locksim_harness::figs::fig8),
+        ("fig9", locksim_harness::figs::fig9),
+        ("fig10", locksim_harness::figs::fig10),
+        ("fig11", locksim_harness::figs::fig11),
+        ("fig12", locksim_harness::figs::fig12),
+        ("fig13", locksim_harness::figs::fig13),
+        ("fairness", locksim_harness::figs::fairness),
+        ("messages", locksim_harness::figs::messages),
+        ("summary", locksim_harness::figs::summary),
+    ];
+    for (name, f) in figs {
+        eprintln!("== regenerating {name} ==");
+        locksim_harness::emit(name, &f());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the fairness analysis table.
+fn main() {
+    locksim_harness::emit("fairness", &locksim_harness::figs::fairness());
+}

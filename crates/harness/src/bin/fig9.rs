@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 results.
+fn main() {
+    locksim_harness::emit("fig9", &locksim_harness::figs::fig9());
+}

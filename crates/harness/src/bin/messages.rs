@@ -1,0 +1,5 @@
+//! Regenerates the per-CS message-cost table (Figure 1's "transfer
+//! messages" column, measured).
+fn main() {
+    locksim_harness::emit("messages", &locksim_harness::figs::messages());
+}

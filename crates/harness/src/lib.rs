@@ -1,0 +1,37 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section against the simulator.
+//!
+//! Each `figN` binary prints the corresponding result table(s) as markdown
+//! and writes CSVs under `results/`; `all` regenerates everything. Run
+//! with `LOCKSIM_QUICK=1` for scaled-down smoke versions.
+//!
+//! ```text
+//! cargo run --release -p locksim-harness --bin fig9
+//! cargo run --release -p locksim-harness --bin all
+//! ```
+
+pub mod figs;
+pub mod run;
+pub mod table;
+
+pub use run::{
+    jain_index, quick, repeat, run_app, run_microbench, run_stm, scaled, AppSel, BackendKind,
+    MicroResult, ModelSel, StmResult, StmVariant, StructSel,
+};
+pub use table::Table;
+
+use std::path::Path;
+
+/// Prints tables as markdown and writes CSVs under `results/`.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be written.
+pub fn emit(name: &str, tables: &[Table]) {
+    let dir = Path::new("results");
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.markdown());
+        let suffix = if tables.len() > 1 { format!("{name}_{i}") } else { name.to_string() };
+        t.save_csv(dir, &suffix).expect("write results csv");
+    }
+}

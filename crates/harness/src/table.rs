@@ -1,0 +1,118 @@
+//! Result tables: markdown and CSV emission.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple result table (one per figure/series).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (figure id and description).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (stringified).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "### {}\n", self.title).ok();
+        writeln!(out, "| {} |", self.columns.join(" | ")).ok();
+        writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )
+        .ok();
+        for r in &self.rows {
+            writeln!(out, "| {} |", r.join(" | ")).ok();
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.columns.join(",")).ok();
+        for r in &self.rows {
+            writeln!(out, "{}", r.join(",")).ok();
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.csv`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn save_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{name}.csv")), self.csv())
+    }
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let md = t.markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert_eq!(t.csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(ratio(2.5), "2.50x");
+    }
+}

@@ -1,0 +1,168 @@
+//! Runtime reader-writer exclusion checker.
+//!
+//! The backend feeds every grant and release through this checker, so any
+//! protocol bug that violates mutual exclusion aborts the simulation at the
+//! exact violating grant instead of corrupting results downstream.
+
+use std::collections::HashMap;
+
+use crate::addr::Addr;
+use crate::lock::Mode;
+use crate::prog::ThreadId;
+
+/// Tracks, per lock, the current writer and reader set, and asserts the
+/// reader-writer exclusion invariant on every transition.
+///
+/// # Example
+///
+/// ```
+/// use locksim_machine::{Addr, Checker, Mode, ThreadId};
+///
+/// let mut c = Checker::new();
+/// c.on_grant(Addr(8), ThreadId(0), Mode::Read);
+/// c.on_grant(Addr(8), ThreadId(1), Mode::Read); // concurrent readers: fine
+/// c.on_release(Addr(8), ThreadId(0), Mode::Read);
+/// c.on_release(Addr(8), ThreadId(1), Mode::Read);
+/// c.on_grant(Addr(8), ThreadId(2), Mode::Write);
+/// ```
+#[derive(Debug, Default)]
+pub struct Checker {
+    writer: HashMap<Addr, ThreadId>,
+    readers: HashMap<Addr, Vec<ThreadId>>,
+    /// Highest number of concurrent readers observed on any lock.
+    pub max_concurrent_readers: usize,
+    /// Total grants checked.
+    pub grants_checked: u64,
+}
+
+impl Checker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a grant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grant violates reader-writer exclusion.
+    pub fn on_grant(&mut self, lock: Addr, t: ThreadId, mode: Mode) {
+        self.grants_checked += 1;
+        match mode {
+            Mode::Write => {
+                assert!(
+                    self.writer.get(&lock).is_none(),
+                    "exclusion violation: write grant of {lock} to {t:?} while {:?} writes",
+                    self.writer[&lock]
+                );
+                let readers = self.readers.get(&lock).map_or(0, Vec::len);
+                assert!(
+                    readers == 0,
+                    "exclusion violation: write grant of {lock} to {t:?} with {readers} readers"
+                );
+                self.writer.insert(lock, t);
+            }
+            Mode::Read => {
+                assert!(
+                    self.writer.get(&lock).is_none(),
+                    "exclusion violation: read grant of {lock} to {t:?} while {:?} writes",
+                    self.writer[&lock]
+                );
+                let rs = self.readers.entry(lock).or_default();
+                assert!(!rs.contains(&t), "double read grant of {lock} to {t:?}");
+                rs.push(t);
+                self.max_concurrent_readers = self.max_concurrent_readers.max(rs.len());
+            }
+        }
+    }
+
+    /// Records a release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the releaser does not hold the lock in `mode`.
+    pub fn on_release(&mut self, lock: Addr, t: ThreadId, mode: Mode) {
+        match mode {
+            Mode::Write => {
+                let w = self.writer.remove(&lock);
+                assert_eq!(w, Some(t), "write release of {lock} by non-writer {t:?}");
+            }
+            Mode::Read => {
+                let rs = self.readers.get_mut(&lock).expect("release of unread lock");
+                let pos = rs
+                    .iter()
+                    .position(|&r| r == t)
+                    .unwrap_or_else(|| panic!("read release of {lock} by non-reader {t:?}"));
+                rs.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Current holder counts `(writers, readers)` for a lock.
+    pub fn holders(&self, lock: Addr) -> (usize, usize) {
+        (
+            usize::from(self.writer.contains_key(&lock)),
+            self.readers.get(&lock).map_or(0, Vec::len),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: Addr = Addr(0x40);
+
+    #[test]
+    fn write_then_release_then_write() {
+        let mut c = Checker::new();
+        c.on_grant(L, ThreadId(0), Mode::Write);
+        assert_eq!(c.holders(L), (1, 0));
+        c.on_release(L, ThreadId(0), Mode::Write);
+        c.on_grant(L, ThreadId(1), Mode::Write);
+        assert_eq!(c.grants_checked, 2);
+    }
+
+    #[test]
+    fn concurrent_readers_tracked() {
+        let mut c = Checker::new();
+        for i in 0..5 {
+            c.on_grant(L, ThreadId(i), Mode::Read);
+        }
+        assert_eq!(c.max_concurrent_readers, 5);
+        assert_eq!(c.holders(L), (0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusion violation")]
+    fn write_while_read_panics() {
+        let mut c = Checker::new();
+        c.on_grant(L, ThreadId(0), Mode::Read);
+        c.on_grant(L, ThreadId(1), Mode::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusion violation")]
+    fn read_while_write_panics() {
+        let mut c = Checker::new();
+        c.on_grant(L, ThreadId(0), Mode::Write);
+        c.on_grant(L, ThreadId(1), Mode::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-writer")]
+    fn bogus_release_panics() {
+        let mut c = Checker::new();
+        c.on_grant(L, ThreadId(0), Mode::Write);
+        c.on_release(L, ThreadId(1), Mode::Write);
+    }
+
+    #[test]
+    fn independent_locks() {
+        let mut c = Checker::new();
+        c.on_grant(Addr(1), ThreadId(0), Mode::Write);
+        c.on_grant(Addr(2), ThreadId(1), Mode::Write);
+        assert_eq!(c.holders(Addr(1)), (1, 0));
+        assert_eq!(c.holders(Addr(2)), (1, 0));
+    }
+}

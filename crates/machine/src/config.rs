@@ -1,0 +1,214 @@
+//! Machine configuration (the paper's Figure 8 parameter table).
+
+use locksim_engine::Cycles;
+
+/// Which machine organization to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineModel {
+    /// 32 single-core chips under a hierarchical switch network
+    /// (SunFire-E25K-like; the paper's *Model A, in-order*).
+    A,
+    /// Multi-CMP: 4 chips × 8 cores with coherence hubs
+    /// (Sun-T5440-like; the paper's *Model B, m-CMP*).
+    B,
+}
+
+/// All timing and sizing parameters of the simulated machine.
+///
+/// Defaults mirror the paper's Figure 8; constructors [`MachineConfig::model_a`]
+/// and [`MachineConfig::model_b`] produce the two evaluated systems.
+///
+/// # Example
+///
+/// ```
+/// use locksim_machine::MachineConfig;
+///
+/// let cfg = MachineConfig::model_a(32);
+/// assert_eq!(cfg.n_cores(), 32);
+/// let cfg = MachineConfig::model_b();
+/// assert_eq!(cfg.n_cores(), 32);
+/// assert_eq!(cfg.n_mems(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Machine organization.
+    pub model: MachineModel,
+    /// Number of chips.
+    pub chips: usize,
+    /// Cores per chip.
+    pub cores_per_chip: usize,
+    /// L1 access latency (cycles).
+    pub l1_latency: Cycles,
+    /// Extra latency of an atomic read-modify-write over a plain access
+    /// (pipeline serialization of the atomic, as on real SPARC/x86 cores).
+    pub rmw_latency: Cycles,
+    /// Directory/L2 processing latency per request (cycles).
+    pub dir_latency: Cycles,
+    /// DRAM access latency (cycles).
+    pub dram_latency: Cycles,
+    /// Ordinary LCU entries per core (8 in Model A, 16 in Model B;
+    /// nonblocking local-request/remote-request entries are extra).
+    pub lcu_entries: usize,
+    /// LCU lookup/processing latency (cycles).
+    pub lcu_latency: Cycles,
+    /// LRT entries per memory controller.
+    pub lrt_entries: usize,
+    /// LRT associativity.
+    pub lrt_assoc: usize,
+    /// LRT processing latency (cycles).
+    pub lrt_latency: Cycles,
+    /// Extra latency for LRT entries overflowed to the in-memory hash table.
+    pub lrt_overflow_latency: Cycles,
+    /// Scheduler time slice when threads exceed cores (cycles). Scaled down
+    /// from a real OS quantum so oversubscription effects appear within
+    /// simulatable runs.
+    pub quantum: Cycles,
+    /// Context-switch overhead when installing a thread on a core.
+    pub ctx_switch: Cycles,
+    /// LCU grant-timeout threshold: a received grant not taken by the local
+    /// thread within this window is forwarded onwards (paper §III-C).
+    pub grant_timeout: Cycles,
+    /// SSB retry backoff base (cycles between remote retries).
+    pub ssb_retry_backoff: Cycles,
+    /// Lifetime of an LRT anti-starvation reservation before it lapses
+    /// (paper §III-D: a timeout prevents a reservation from blocking the
+    /// system after, e.g., a trylock expiration).
+    pub reservation_timeout: Cycles,
+    /// Backoff between software retries when a thread's LCU has no free
+    /// entry or a nonblocking request was denied.
+    pub retry_backoff: Cycles,
+    /// Ablation: direct LCU→LCU transfers (the paper's design). When off,
+    /// every transfer routes through the home LRT.
+    pub lcu_direct_transfer: bool,
+    /// Ablation: fast local re-acquisition of RD_REL reader entries.
+    pub lcu_fast_reacquire: bool,
+    /// Ablation: the LRT's anti-starvation reservation for nonblocking
+    /// requestors.
+    pub lcu_reservation: bool,
+    /// Free Lock Table entries per core (the paper's §IV-C future-work
+    /// extension): released-but-unrequested locks are parked locally so a
+    /// repeat acquire by the same thread is a local hit, restoring the
+    /// implicit biasing coherence-based locks get for private locks.
+    /// `0` disables the FLT (the paper's evaluated configuration).
+    pub flt_entries: usize,
+}
+
+impl MachineConfig {
+    /// The paper's Model A with `chips` single-core chips (32 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips == 0`.
+    pub fn model_a(chips: usize) -> Self {
+        assert!(chips > 0);
+        MachineConfig {
+            model: MachineModel::A,
+            chips,
+            cores_per_chip: 1,
+            l1_latency: 3,
+            rmw_latency: 20,
+            dir_latency: 10,
+            dram_latency: 90,
+            lcu_entries: 8,
+            lcu_latency: 3,
+            lrt_entries: 512,
+            lrt_assoc: 16,
+            lrt_latency: 6,
+            lrt_overflow_latency: 90,
+            quantum: 100_000,
+            ctx_switch: 2_000,
+            grant_timeout: 1_000,
+            ssb_retry_backoff: 24,
+            reservation_timeout: 20_000,
+            retry_backoff: 200,
+            lcu_direct_transfer: true,
+            lcu_fast_reacquire: true,
+            lcu_reservation: true,
+            flt_entries: 0,
+        }
+    }
+
+    /// The paper's Model B: 4 chips × 8 cores.
+    pub fn model_b() -> Self {
+        MachineConfig {
+            model: MachineModel::B,
+            chips: 4,
+            cores_per_chip: 8,
+            l1_latency: 3,
+            rmw_latency: 20,
+            dir_latency: 16,
+            dram_latency: 110,
+            lcu_entries: 16,
+            lcu_latency: 3,
+            lrt_entries: 512,
+            lrt_assoc: 16,
+            lrt_latency: 6,
+            lrt_overflow_latency: 110,
+            quantum: 100_000,
+            ctx_switch: 2_000,
+            grant_timeout: 1_000,
+            ssb_retry_backoff: 24,
+            reservation_timeout: 20_000,
+            retry_backoff: 200,
+            lcu_direct_transfer: true,
+            lcu_fast_reacquire: true,
+            lcu_reservation: true,
+            flt_entries: 0,
+        }
+    }
+
+    /// Total core count.
+    pub fn n_cores(&self) -> usize {
+        self.chips * self.cores_per_chip
+    }
+
+    /// Number of memory controllers (Model A: one per chip; Model B: two per
+    /// chip, the T5440 arrangement).
+    pub fn n_mems(&self) -> usize {
+        match self.model {
+            MachineModel::A => self.chips,
+            MachineModel::B => self.chips * 2,
+        }
+    }
+
+    /// Builds the matching network topology.
+    pub fn build_network(&self) -> locksim_topo::Network {
+        match self.model {
+            MachineModel::A => locksim_topo::Network::model_a(self.chips),
+            MachineModel::B => locksim_topo::Network::model_b(self.chips, self.cores_per_chip),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_a_counts() {
+        let cfg = MachineConfig::model_a(32);
+        assert_eq!(cfg.n_cores(), 32);
+        assert_eq!(cfg.n_mems(), 32);
+        assert_eq!(cfg.lcu_entries, 8);
+    }
+
+    #[test]
+    fn model_b_counts() {
+        let cfg = MachineConfig::model_b();
+        assert_eq!(cfg.n_cores(), 32);
+        assert_eq!(cfg.n_mems(), 8);
+        assert_eq!(cfg.lcu_entries, 16);
+    }
+
+    #[test]
+    fn networks_match_config() {
+        let cfg = MachineConfig::model_a(8);
+        let net = cfg.build_network();
+        assert_eq!(net.n_cores(), cfg.n_cores());
+        assert_eq!(net.n_mems(), cfg.n_mems());
+        let cfg = MachineConfig::model_b();
+        let net = cfg.build_network();
+        assert_eq!(net.n_cores(), 32);
+        assert_eq!(net.n_mems(), 8);
+    }
+}

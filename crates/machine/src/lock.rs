@@ -1,0 +1,115 @@
+//! The lock-backend interface: how lock implementations (hardware LCU/SSB
+//! units or software algorithms) plug into the machine.
+
+use std::any::Any;
+
+use locksim_coherence::LineAddr;
+use locksim_engine::stats::Counters;
+use locksim_engine::Cycles;
+
+use crate::addr::Addr;
+use crate::prog::{CoreId, ThreadId};
+use crate::world::Mach;
+
+/// Reader or writer lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Shared (reader) access.
+    Read,
+    /// Exclusive (writer) access.
+    Write,
+}
+
+impl Mode {
+    /// True for [`Mode::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, Mode::Write)
+    }
+}
+
+/// A lock implementation driven by the machine's event loop.
+///
+/// Exactly one backend exists per [`crate::World`]. The world forwards
+/// program lock actions and asynchronous events (wire messages, timers,
+/// memory completions, invalidation wakeups, scheduling changes); the
+/// backend eventually resolves each acquire with [`Mach::grant_lock`] or
+/// [`Mach::fail_lock`] and each release with [`Mach::complete_release`].
+///
+/// Backends model their own timing through [`Mach`] services:
+/// [`Mach::send_wire`] for protocol messages between hardware units,
+/// [`Mach::backend_mem`] for memory operations executed on a thread's
+/// behalf (software locks), [`Mach::watch_line`] for local spinning, and
+/// [`Mach::set_timer`] for timeouts.
+pub trait LockBackend {
+    /// Short name for reports (e.g. `"lcu"`, `"mcs"`).
+    fn name(&self) -> &'static str;
+
+    /// Thread `t` requests `lock` in `mode`. `try_for` of `Some(budget)`
+    /// means the attempt must fail after `budget` cycles if not granted.
+    fn on_acquire(
+        &mut self,
+        m: &mut Mach,
+        t: ThreadId,
+        lock: Addr,
+        mode: Mode,
+        try_for: Option<Cycles>,
+    );
+
+    /// Thread `t` releases `lock` (held in `mode`). Must eventually call
+    /// [`Mach::complete_release`].
+    fn on_release(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode);
+
+    /// A wire message sent earlier via [`Mach::send_wire`] has arrived.
+    fn on_wire(&mut self, m: &mut Mach, payload: Box<dyn Any>) {
+        let _ = (m, payload);
+    }
+
+    /// A timer set via [`Mach::set_timer`] fired.
+    fn on_timer(&mut self, m: &mut Mach, token: u64) {
+        let _ = (m, token);
+    }
+
+    /// A memory operation issued via [`Mach::backend_mem`] for thread `t`
+    /// completed; `value` is the loaded / pre-RMW value.
+    fn on_mem_value(&mut self, m: &mut Mach, t: ThreadId, value: u64) {
+        let _ = (m, t, value);
+    }
+
+    /// A line watched via [`Mach::watch_line`] for thread `t` was
+    /// invalidated (one-shot; re-arm if still interested).
+    fn on_line_invalidated(&mut self, m: &mut Mach, t: ThreadId, line: LineAddr) {
+        let _ = (m, t, line);
+    }
+
+    /// Thread `t` was installed on `core` (initial placement, reschedule
+    /// after preemption, or migration).
+    fn on_thread_scheduled(&mut self, m: &mut Mach, t: ThreadId, core: CoreId) {
+        let _ = (m, t, core);
+    }
+
+    /// Thread `t` was preempted off its core.
+    fn on_thread_descheduled(&mut self, m: &mut Mach, t: ThreadId) {
+        let _ = (m, t);
+    }
+
+    /// Protocol counters for reports.
+    fn counters(&self) -> Counters {
+        Counters::new()
+    }
+
+    /// Human-readable internal state dump for stall diagnostics.
+    fn debug_state(&self) -> String {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(Mode::Write.is_write());
+        assert!(!Mode::Read.is_write());
+    }
+}

@@ -1,0 +1,1094 @@
+//! The simulated multiprocessor: event dispatch, memory system glue,
+//! thread scheduling, and backend services.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use locksim_coherence::{
+    CacheAction, CacheCtrl, CacheId, CacheOpResult, CacheToDir, CpuOp, DirCtrl, DirId, DirToCache,
+    LineAddr,
+};
+use locksim_engine::stats::Counters;
+use locksim_engine::{Cycles, RngStream, Simulator, Time};
+use locksim_topo::{MsgClass, Network, NodeId};
+
+use crate::addr::{home_of, Addr, Alloc};
+use crate::config::MachineConfig;
+use crate::lock::LockBackend;
+use crate::prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
+
+/// A memory operation kind carried through the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// Load a word.
+    Load,
+    /// Store a word.
+    Store(u64),
+    /// Atomic read-modify-write.
+    Rmw(RmwOp),
+}
+
+impl MemKind {
+    fn cpu_op(self) -> CpuOp {
+        match self {
+            MemKind::Load => CpuOp::Load,
+            MemKind::Store(_) => CpuOp::Store,
+            MemKind::Rmw(_) => CpuOp::Rmw,
+        }
+    }
+}
+
+/// Who issued a memory operation (and therefore who gets the completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemIssuer {
+    /// The thread's program; resumed with the resulting outcome.
+    Prog(ThreadId),
+    /// The lock backend acting for a thread; gets `on_mem_value`.
+    Backend(ThreadId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingMem {
+    addr: Addr,
+    kind: MemKind,
+    issuer: MemIssuer,
+    /// Value effect already applied at the directory's serialization point;
+    /// the completion returns this instead of re-sampling memory.
+    result: Option<u64>,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+enum Ev {
+    /// Deliver an outcome to a thread's program. The generation tag lets
+    /// preemption cancel a stale compute completion.
+    Resume(ThreadId, Outcome, u64),
+    /// A cache hit's latency elapsed.
+    MemDone { cache: usize, line: LineAddr },
+    /// A directory→cache message arrives.
+    CacheMsg {
+        cache: usize,
+        line: LineAddr,
+        msg: DirToCache,
+    },
+    /// A cache→directory message arrives.
+    DirMsg {
+        dir: usize,
+        line: LineAddr,
+        from: CacheId,
+        msg: CacheToDir,
+    },
+    /// A backend wire message arrives (payload stashed by id).
+    Wire(u64),
+    /// A backend timer fires.
+    Timer(u64),
+    /// End of a scheduling quantum on a core.
+    Quantum(usize, u64),
+    /// A thread finished its context switch onto a core.
+    Installed(ThreadId, usize),
+    /// Immediate wake for a watch on a line that was already invalid.
+    WakeNow(ThreadId, LineAddr),
+}
+
+/// Per-thread machine-level statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Lock acquisitions granted.
+    pub acquires: u64,
+    /// Trylock attempts that failed.
+    pub fails: u64,
+    /// Total cycles spent waiting in acquire.
+    pub wait_cycles: Cycles,
+    /// Times the thread was preempted.
+    pub preemptions: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum ThreadRun {
+    #[default]
+    Ready,
+    Running,
+    Finished,
+}
+
+struct ThreadState {
+    program: Option<Box<dyn Program>>,
+    core: Option<CoreId>,
+    run: ThreadRun,
+    pending_outcome: Option<Outcome>,
+    rng: RngStream,
+    deferred_mem: VecDeque<(Addr, MemKind)>,
+    stats: ThreadStats,
+    waiting_since: Option<Time>,
+    /// End time of an in-progress Compute action, if any.
+    computing: Option<Time>,
+    /// Compute cycles left over after a mid-compute preemption.
+    compute_left: Cycles,
+    /// Bumped to invalidate in-flight Resume events on preemption.
+    resume_gen: u64,
+}
+
+impl std::fmt::Debug for ThreadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadState")
+            .field("core", &self.core)
+            .field("run", &self.run)
+            .field("pending_outcome", &self.pending_outcome)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A backend-visible network endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ep {
+    /// The LCU / cache side of a core.
+    Core(usize),
+    /// A memory controller (home of directories, LRTs, SSB banks).
+    Mem(usize),
+}
+
+/// Everything in the simulated machine *except* the lock backend. Backends
+/// receive `&mut Mach` and use its services; programs interact only through
+/// [`crate::Ctx`] and [`Action`]s.
+#[derive(Debug)]
+pub struct Mach {
+    cfg: MachineConfig,
+    sim: Simulator<Ev>,
+    net: Network,
+    caches: Vec<CacheCtrl>,
+    dirs: Vec<DirCtrl>,
+    mem_values: HashMap<Addr, u64>,
+    threads: Vec<ThreadState>,
+    cores: Vec<Option<ThreadId>>,
+    ready: VecDeque<ThreadId>,
+    pending_mem: HashMap<(usize, LineAddr), PendingMem>,
+    mem_waitq: HashMap<(usize, LineAddr), VecDeque<PendingMem>>,
+    watchers: HashMap<(usize, LineAddr), Vec<ThreadId>>,
+    wire_payloads: HashMap<u64, Box<dyn Any>>,
+    wire_seq: u64,
+    alloc: Alloc,
+    counters: Counters,
+    seed: u64,
+    next_stream: u64,
+    alive: usize,
+    quantum_gen: u64,
+    quantum_active: bool,
+    /// Debug tracing configuration, parsed once from the environment
+    /// (LOCKSIM_TRACE, LOCKSIM_TRACELINE, LOCKSIM_WATCHLINE) so the hot
+    /// dispatch paths never touch the environment.
+    dbg: DebugCfg,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DebugCfg {
+    trace_all: bool,
+    trace_line: Option<u64>,
+    watch_line: Option<u64>,
+}
+
+impl DebugCfg {
+    fn from_env() -> Self {
+        let line = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+        DebugCfg {
+            trace_all: std::env::var_os("LOCKSIM_TRACE").is_some(),
+            trace_line: line("LOCKSIM_TRACELINE"),
+            watch_line: line("LOCKSIM_WATCHLINE"),
+        }
+    }
+}
+
+impl Mach {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Machine configuration.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of memory controllers.
+    pub fn n_mems(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Home memory controller of an address.
+    pub fn home_of(&self, a: Addr) -> usize {
+        home_of(a.line(), self.dirs.len())
+    }
+
+    /// The core thread `t` currently runs on, if scheduled.
+    pub fn core_of(&self, t: ThreadId) -> Option<CoreId> {
+        self.threads[t.0 as usize].core
+    }
+
+    /// Whether thread `t` is currently installed on a core.
+    pub fn is_scheduled(&self, t: ThreadId) -> bool {
+        self.threads[t.0 as usize].core.is_some()
+    }
+
+    /// Global machine counters (mutable for backends).
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Allocates simulated memory (delegates to [`Alloc`]).
+    pub fn alloc(&mut self) -> &mut Alloc {
+        &mut self.alloc
+    }
+
+    /// Reads a word's current value directly (no timing). For backends that
+    /// model hardware units holding their own state, and for tests.
+    pub fn mem_peek(&self, a: Addr) -> u64 {
+        self.mem_values.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Writes a word directly (no timing, no coherence). For initialization
+    /// only — using this during a run bypasses the memory model.
+    pub fn mem_poke(&mut self, a: Addr, v: u64) {
+        self.mem_values.insert(a, v);
+    }
+
+    /// A fresh deterministic RNG stream (seeded from the world seed).
+    pub fn rng_stream(&mut self) -> RngStream {
+        let s = self.next_stream;
+        self.next_stream += 1;
+        RngStream::new(self.seed, s)
+    }
+
+    /// Grants thread `t`'s outstanding acquire after `delay` cycles of
+    /// additional processing latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has no acquire outstanding.
+    pub fn grant_lock_in(&mut self, t: ThreadId, delay: Cycles) {
+        let ti = t.0 as usize;
+        let since = self.threads[ti]
+            .waiting_since
+            .take()
+            .expect("grant_lock without outstanding acquire");
+        self.threads[ti].stats.acquires += 1;
+        self.threads[ti].stats.wait_cycles += (self.sim.now() + delay) - since;
+        self.counters.incr("locks_granted");
+        self.sched_resume(t, Outcome::Granted, delay);
+    }
+
+    /// Fails thread `t`'s outstanding trylock after `delay` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has no acquire outstanding.
+    pub fn fail_lock_in(&mut self, t: ThreadId, delay: Cycles) {
+        let ti = t.0 as usize;
+        let since = self.threads[ti]
+            .waiting_since
+            .take()
+            .expect("fail_lock without outstanding acquire");
+        self.threads[ti].stats.fails += 1;
+        self.threads[ti].stats.wait_cycles += (self.sim.now() + delay) - since;
+        self.counters.incr("locks_failed");
+        self.sched_resume(t, Outcome::Failed, delay);
+    }
+
+    /// Completes thread `t`'s outstanding release after `delay` cycles.
+    pub fn complete_release_in(&mut self, t: ThreadId, delay: Cycles) {
+        self.sched_resume(t, Outcome::Completed, delay);
+    }
+
+    /// Grants thread `t`'s outstanding acquire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has no acquire outstanding.
+    pub fn grant_lock(&mut self, t: ThreadId) {
+        let ti = t.0 as usize;
+        let since = self.threads[ti]
+            .waiting_since
+            .take()
+            .expect("grant_lock without outstanding acquire");
+        self.threads[ti].stats.acquires += 1;
+        self.threads[ti].stats.wait_cycles += self.sim.now() - since;
+        self.counters.incr("locks_granted");
+        self.sched_resume(t, Outcome::Granted, 0);
+    }
+
+    /// Fails thread `t`'s outstanding trylock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has no acquire outstanding.
+    pub fn fail_lock(&mut self, t: ThreadId) {
+        let ti = t.0 as usize;
+        let since = self.threads[ti]
+            .waiting_since
+            .take()
+            .expect("fail_lock without outstanding acquire");
+        self.threads[ti].stats.fails += 1;
+        self.threads[ti].stats.wait_cycles += self.sim.now() - since;
+        self.counters.incr("locks_failed");
+        self.sched_resume(t, Outcome::Failed, 0);
+    }
+
+    /// Completes thread `t`'s outstanding release.
+    pub fn complete_release(&mut self, t: ThreadId) {
+        self.sched_resume(t, Outcome::Completed, 0);
+    }
+
+    fn sched_resume(&mut self, t: ThreadId, outcome: Outcome, delay: Cycles) {
+        let gen = self.threads[t.0 as usize].resume_gen;
+        self.sim.schedule_in(delay, Ev::Resume(t, outcome, gen));
+    }
+
+    /// Sends a backend protocol message from `src` to `dst`; it arrives at
+    /// the backend's [`LockBackend::on_wire`] after network latency plus
+    /// `extra` cycles of processing delay.
+    pub fn send_wire(
+        &mut self,
+        src: Ep,
+        dst: Ep,
+        class: MsgClass,
+        extra: Cycles,
+        payload: Box<dyn Any>,
+    ) {
+        let s = self.ep_node(src);
+        let d = self.ep_node(dst);
+        let now = self.sim.now();
+        let arrival = if s == d {
+            now + extra + 1
+        } else {
+            self.net.send(now + extra, s, d, class)
+        };
+        let id = self.wire_seq;
+        self.wire_seq += 1;
+        self.wire_payloads.insert(id, payload);
+        self.counters.incr("backend_wire_msgs");
+        self.sim.schedule_at(arrival, Ev::Wire(id));
+    }
+
+    /// Arms a one-shot backend timer; [`LockBackend::on_timer`] receives
+    /// `token` after `delay` cycles.
+    pub fn set_timer(&mut self, delay: Cycles, token: u64) {
+        self.sim.schedule_in(delay, Ev::Timer(token));
+    }
+
+    /// Issues a memory operation on behalf of thread `t` from its current
+    /// core. Completion arrives at [`LockBackend::on_mem_value`]. If `t` is
+    /// preempted, the operation is deferred until it is rescheduled (a
+    /// preempted thread executes nothing).
+    pub fn backend_mem(&mut self, t: ThreadId, addr: Addr, kind: MemKind) {
+        let ti = t.0 as usize;
+        match self.threads[ti].core {
+            Some(core) => self.issue_mem(core.0 as usize, addr, kind, MemIssuer::Backend(t)),
+            None => self.threads[ti].deferred_mem.push_back((addr, kind)),
+        }
+    }
+
+    /// One-shot watch: when thread `t`'s current core loses `line` to an
+    /// invalidation, [`LockBackend::on_line_invalidated`] fires. A watch
+    /// requested while `t` is descheduled is dropped — the backend's
+    /// `on_thread_scheduled` hook is the place to re-drive spin loops after
+    /// a preemption or migration. If the line is already absent from the
+    /// core's cache (an invalidation raced with the read that observed the
+    /// stale value), the wake fires immediately — the spin loop's next read
+    /// would miss and refetch.
+    pub fn watch_line(&mut self, t: ThreadId, line: LineAddr) {
+        if self.dbg.watch_line == Some(line.0) {
+            eprintln!("[{}] watch_line t={:?} core={:?} state={:?}", self.sim.now(), t, self.threads[t.0 as usize].core, self.threads[t.0 as usize].core.map(|c| self.caches[c.0 as usize].state(line)));
+        }
+        
+        let Some(core) = self.threads[t.0 as usize].core else {
+            self.counters.incr("watches_dropped_descheduled");
+            return;
+        };
+        let core = core.0 as usize;
+        if !self.caches[core].state(line).readable() {
+            self.counters.incr("watches_fired_immediately");
+            self.sim.schedule_in(0, Ev::WakeNow(t, line));
+            return;
+        }
+        self.watchers.entry((core, line)).or_default().push(t);
+    }
+
+    /// Removes any watches registered for `t` on `line` at its current core.
+    pub fn unwatch_line(&mut self, t: ThreadId, line: LineAddr) {
+        if let Some(core) = self.threads[t.0 as usize].core {
+            if let Some(v) = self.watchers.get_mut(&(core.0 as usize, line)) {
+                v.retain(|&w| w != t);
+            }
+        }
+    }
+
+    /// Per-thread statistics.
+    pub fn thread_stats(&self, t: ThreadId) -> ThreadStats {
+        self.threads[t.0 as usize].stats
+    }
+
+    /// Number of spawned threads.
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The network (for calibration probes and link statistics).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn ep_node(&self, ep: Ep) -> NodeId {
+        match ep {
+            Ep::Core(c) => self.net.core_endpoint(c),
+            Ep::Mem(m) => self.net.mem_endpoint(m),
+        }
+    }
+
+    fn issue_mem(&mut self, cache: usize, addr: Addr, kind: MemKind, issuer: MemIssuer) {
+        if self.dbg.watch_line == Some(addr.line().0) {
+            eprintln!("[{}] issue_mem cache={cache} addr={addr} kind={kind:?} issuer={issuer:?}", self.sim.now());
+        }
+        
+        let line = addr.line();
+        let key = (cache, line);
+        let pm = PendingMem { addr, kind, issuer, result: None };
+        if self.pending_mem.contains_key(&key) {
+            self.mem_waitq.entry(key).or_default().push_back(pm);
+            return;
+        }
+        self.start_mem(cache, pm);
+    }
+
+    fn start_mem(&mut self, cache: usize, pm: PendingMem) {
+        let line = pm.addr.line();
+        let key = (cache, line);
+        let prev = self.pending_mem.insert(key, pm);
+        debug_assert!(prev.is_none(), "mem op clobbered at {key:?}");
+        let rmw_extra = match pm.kind {
+            MemKind::Rmw(_) => self.cfg.rmw_latency,
+            _ => 0,
+        };
+        match self.caches[cache].cpu_op(line, pm.kind.cpu_op()) {
+            CacheOpResult::Hit => {
+                let l1 = self.cfg.l1_latency + rmw_extra;
+                self.sim.schedule_in(l1, Ev::MemDone { cache, line });
+            }
+            CacheOpResult::Miss(req) => {
+                let home = home_of(line, self.dirs.len());
+                let src = self.net.core_endpoint(cache);
+                let dst = self.net.mem_endpoint(home);
+                let t0 = self.sim.now() + self.cfg.l1_latency + rmw_extra;
+                let arrival = self.net.send(t0, src, dst, MsgClass::Control);
+                self.sim.schedule_at(
+                    arrival,
+                    Ev::DirMsg {
+                        dir: home,
+                        line,
+                        from: CacheId(cache as u32),
+                        msg: CacheToDir::Req(req),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Applies the value semantics of a completed memory op; returns the
+    /// outcome value (loaded / pre-RMW value; 0 for stores).
+    fn apply_mem(&mut self, pm: PendingMem) -> u64 {
+        match pm.kind {
+            MemKind::Load => self.mem_peek(pm.addr),
+            MemKind::Store(v) => {
+                self.mem_values.insert(pm.addr, v);
+                0
+            }
+            MemKind::Rmw(op) => {
+                let old = self.mem_peek(pm.addr);
+                self.mem_values.insert(pm.addr, op.apply(old));
+                old
+            }
+        }
+    }
+}
+
+/// Exit status of [`World::run_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every spawned thread finished.
+    AllFinished,
+    /// The time limit was reached with work remaining.
+    TimeLimit,
+    /// No events remain but threads are still alive (deadlock) — only
+    /// returned by [`World::run_for`]; [`World::run_to_completion`] panics.
+    Stalled,
+}
+
+/// The complete simulated machine: [`Mach`] plus the lock backend.
+///
+/// # Example
+///
+/// ```
+/// use locksim_machine::{testing::ScriptProgram, Action, IdealBackend, MachineConfig, World};
+///
+/// let mut w = World::new(MachineConfig::model_a(2), Box::new(IdealBackend::new()), 1);
+/// let a = w.mach().alloc().alloc_line();
+/// w.spawn(Box::new(ScriptProgram::new(vec![
+///     Action::Write(a, 7),
+///     Action::Compute(100),
+/// ])));
+/// w.run_to_completion();
+/// assert_eq!(w.mach().mem_peek(a), 7);
+/// ```
+pub struct World {
+    mach: Mach,
+    backend: Box<dyn LockBackend>,
+    trace: Option<Vec<(Time, String)>>,
+    trace_cap: usize,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("backend", &self.backend.name())
+            .field("now", &self.mach.now())
+            .field("threads", &self.mach.threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl World {
+    /// Builds a machine from `cfg` with the given lock backend and master
+    /// RNG seed.
+    pub fn new(cfg: MachineConfig, backend: Box<dyn LockBackend>, seed: u64) -> Self {
+        let net = cfg.build_network();
+        let caches = (0..cfg.n_cores())
+            .map(|i| CacheCtrl::new(CacheId(i as u32)))
+            .collect();
+        let dirs = (0..cfg.n_mems()).map(|i| DirCtrl::new(DirId(i as u32))).collect();
+        let n_cores = cfg.n_cores();
+        World {
+            trace: None,
+            trace_cap: 0,
+            mach: Mach {
+                cfg,
+                sim: Simulator::new(),
+                net,
+                caches,
+                dirs,
+                mem_values: HashMap::new(),
+                threads: Vec::new(),
+                cores: vec![None; n_cores],
+                ready: VecDeque::new(),
+                pending_mem: HashMap::new(),
+                mem_waitq: HashMap::new(),
+                watchers: HashMap::new(),
+                wire_payloads: HashMap::new(),
+                wire_seq: 0,
+                alloc: Alloc::new(),
+                counters: Counters::new(),
+                seed,
+                next_stream: 0,
+                alive: 0,
+                quantum_gen: 0,
+                quantum_active: false,
+                dbg: DebugCfg::from_env(),
+            },
+            backend,
+        }
+    }
+
+    /// Starts recording a bounded event trace (newest events win once the
+    /// bound is hit). Useful for debugging protocol interactions; see
+    /// [`World::trace_entries`].
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Vec::new());
+        self.trace_cap = cap.max(1);
+    }
+
+    /// The recorded `(time, event)` entries, oldest first.
+    pub fn trace_entries(&self) -> &[(Time, String)] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Access to machine state (allocation, peeking, stats).
+    pub fn mach(&mut self) -> &mut Mach {
+        &mut self.mach
+    }
+
+    /// Immutable machine access.
+    pub fn mach_ref(&self) -> &Mach {
+        &self.mach
+    }
+
+    /// The lock backend's internal state dump (diagnostics).
+    pub fn backend_debug(&self) -> String {
+        self.backend.debug_state()
+    }
+
+    /// The lock backend's counters plus machine and network counters.
+    pub fn report_counters(&self) -> Counters {
+        let mut c = self.mach.counters.clone();
+        c.merge(&self.backend.counters());
+        c.merge(self.mach.net.counters());
+        for d in &self.mach.dirs {
+            c.merge(d.counters());
+        }
+        c
+    }
+
+    /// Spawns a thread running `prog`. Threads are installed on free cores
+    /// in spawn order; excess threads wait in the ready queue and the
+    /// scheduler starts time-slicing.
+    pub fn spawn(&mut self, prog: Box<dyn Program>) -> ThreadId {
+        let tid = ThreadId(self.mach.threads.len() as u32);
+        let rng = self.mach.rng_stream();
+        self.mach.threads.push(ThreadState {
+            program: Some(prog),
+            core: None,
+            run: ThreadRun::Ready,
+            pending_outcome: Some(Outcome::Started),
+            rng,
+            deferred_mem: VecDeque::new(),
+            stats: ThreadStats::default(),
+            waiting_since: None,
+            computing: None,
+            compute_left: 0,
+            resume_gen: 0,
+        });
+        self.mach.alive += 1;
+        if let Some(core) = self.mach.cores.iter().position(|c| c.is_none()) {
+            self.install(tid, core, 0);
+        } else {
+            self.mach.ready.push_back(tid);
+        }
+        self.maybe_activate_quantum();
+        tid
+    }
+
+    /// Explicitly migrates a scheduled thread to another core (used by
+    /// migration experiments). The target core must be free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not scheduled or the target core is occupied.
+    pub fn migrate(&mut self, t: ThreadId, to: usize) {
+        let ti = t.0 as usize;
+        let from = self.mach.threads[ti].core.expect("migrating unscheduled thread");
+        assert!(self.mach.cores[to].is_none(), "target core busy");
+        self.mach.cores[from.0 as usize] = None;
+        self.mach.threads[ti].core = None;
+        self.backend.on_thread_descheduled(&mut self.mach, t);
+        self.mach.counters.incr("migrations");
+        self.install(t, to, self.mach.cfg.ctx_switch);
+    }
+
+    /// Forcibly deschedules a thread (simulating OS preemption for tests and
+    /// suspension experiments). The thread rejoins the ready queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not scheduled.
+    pub fn preempt(&mut self, t: ThreadId) {
+        let ti = t.0 as usize;
+        let core = self.mach.threads[ti].core.expect("preempting unscheduled thread");
+        self.suspend_compute(t);
+        self.mach.cores[core.0 as usize] = None;
+        self.mach.threads[ti].core = None;
+        self.mach.threads[ti].stats.preemptions += 1;
+        self.mach.ready.push_back(t);
+        self.backend.on_thread_descheduled(&mut self.mach, t);
+        // Give the freed core to the next ready thread (possibly t itself if
+        // alone in the queue).
+        if let Some(next) = self.mach.ready.pop_front() {
+            self.install(next, core.0 as usize, self.mach.cfg.ctx_switch);
+        }
+    }
+
+    /// Runs until every thread finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains while threads are alive (deadlock or
+    /// lost wakeup — a simulator or protocol bug).
+    pub fn run_to_completion(&mut self) {
+        match self.run_for(None) {
+            RunExit::AllFinished => {}
+            RunExit::Stalled => {
+                let blocked: Vec<String> = self
+                    .mach
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, th)| th.run != ThreadRun::Finished)
+                    .map(|(i, th)| format!("t{i}: core={:?} waiting={:?} computing={:?} left={} pending={:?} run={:?} gen={}", th.core, th.waiting_since, th.computing, th.compute_left, th.pending_outcome, th.run, th.resume_gen))
+                    .collect();
+                panic!(
+                    "simulation stalled with live threads: {blocked:?}\nbackend state:\n{}",
+                    self.backend.debug_state()
+                );
+            }
+            RunExit::TimeLimit => unreachable!("no limit was set"),
+        }
+    }
+
+    /// Runs until all threads finish, the event queue drains, or simulated
+    /// time passes `limit`.
+    pub fn run_for(&mut self, limit: Option<Time>) -> RunExit {
+        loop {
+            if self.mach.alive == 0 {
+                return RunExit::AllFinished;
+            }
+            if let (Some(lim), Some(next)) = (limit, self.mach.sim.peek_time()) {
+                if next > lim {
+                    return RunExit::TimeLimit;
+                }
+            }
+            let Some((_, ev)) = self.mach.sim.pop() else {
+                return RunExit::Stalled;
+            };
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        if let Some(buf) = &mut self.trace {
+            if buf.len() == self.trace_cap {
+                buf.remove(0);
+            }
+            buf.push((self.mach.sim.now(), format!("{ev:?}")));
+        }
+        if self.mach.dbg.trace_all {
+            eprintln!("[{}] {:?}", self.mach.sim.now(), ev);
+        }
+        if let Some(l) = self.mach.dbg.trace_line {
+            match &ev {
+                Ev::CacheMsg { cache, line, msg } if line.0 == l => {
+                    eprintln!("[{}] cachemsg cache={cache} {:?} (state {:?})", self.mach.sim.now(), msg, self.mach.caches[*cache].state(*line));
+                }
+                Ev::DirMsg { line, from, msg, .. } if line.0 == l => {
+                    eprintln!("[{}] dirmsg from={:?} {:?}", self.mach.sim.now(), from, msg);
+                }
+                _ => {}
+            }
+        }
+        match ev {
+            Ev::Resume(t, outcome, gen) => {
+                if gen == self.mach.threads[t.0 as usize].resume_gen {
+                    self.drive(t, outcome);
+                }
+            }
+            Ev::MemDone { cache, line } => self.complete_mem(cache, line),
+            Ev::CacheMsg { cache, line, msg } => {
+                let actions = self.mach.caches[cache].handle(line, msg);
+                for act in actions {
+                    match act {
+                        CacheAction::Send(m) => {
+                            let home = home_of(line, self.mach.dirs.len());
+                            let src = self.mach.net.core_endpoint(cache);
+                            let dst = self.mach.net.mem_endpoint(home);
+                            let class = match m {
+                                CacheToDir::InvAck { dirty: true }
+                                | CacheToDir::DowngradeAck { dirty: true } => MsgClass::Data,
+                                _ => MsgClass::Control,
+                            };
+                            let now = self.mach.sim.now();
+                            let arrival = self.mach.net.send(now, src, dst, class);
+                            self.mach.sim.schedule_at(
+                                arrival,
+                                Ev::DirMsg {
+                                    dir: home,
+                                    line,
+                                    from: CacheId(cache as u32),
+                                    msg: m,
+                                },
+                            );
+                        }
+                        CacheAction::CpuDone => self.complete_mem(cache, line),
+                        CacheAction::Invalidated => self.fire_watchers(cache, line),
+                        CacheAction::Downgraded => {}
+                    }
+                }
+            }
+            Ev::DirMsg { dir, line, from, msg } => {
+                let actions = self.mach.dirs[dir].handle(line, from, msg);
+                for act in actions {
+                    // A data grant is the transaction's serialization point:
+                    // apply the requestor's pending value effect now so that
+                    // values linearize in directory order, not in message-
+                    // arrival order (grants can be overtaken in the network).
+                    if matches!(act.msg, DirToCache::DataS { .. } | DirToCache::DataM) {
+                        let key = (act.to.0 as usize, line);
+                        if let Some(pm) = self.mach.pending_mem.get(&key).copied() {
+                            if pm.result.is_none() {
+                                let v = self.mach.apply_mem(pm);
+                                if let Some(slot) = self.mach.pending_mem.get_mut(&key) {
+                                    slot.result = Some(v);
+                                }
+                            }
+                        }
+                    }
+                    let delay = self.mach.cfg.dir_latency
+                        + if act.dram { self.mach.cfg.dram_latency } else { 0 };
+                    let class = if act.carries_data { MsgClass::Data } else { MsgClass::Control };
+                    let src = self.mach.net.mem_endpoint(dir);
+                    let dst = self.mach.net.core_endpoint(act.to.0 as usize);
+                    let t0 = self.mach.sim.now() + delay;
+                    let arrival = self.mach.net.send(t0, src, dst, class);
+                    self.mach.sim.schedule_at(
+                        arrival,
+                        Ev::CacheMsg {
+                            cache: act.to.0 as usize,
+                            line,
+                            msg: act.msg,
+                        },
+                    );
+                }
+            }
+            Ev::Wire(id) => {
+                let payload = self
+                    .mach
+                    .wire_payloads
+                    .remove(&id)
+                    .expect("wire payload vanished");
+                self.backend.on_wire(&mut self.mach, payload);
+            }
+            Ev::Timer(token) => self.backend.on_timer(&mut self.mach, token),
+            Ev::Quantum(core, gen) => self.quantum_tick(core, gen),
+            Ev::Installed(t, core) => self.finish_install(t, core),
+            Ev::WakeNow(t, line) => self.backend.on_line_invalidated(&mut self.mach, t, line),
+        }
+    }
+
+    fn fire_watchers(&mut self, cache: usize, line: LineAddr) {
+        if self.mach.dbg.watch_line == Some(line.0) {
+            eprintln!("[{}] fire_watchers cache={cache} watchers={:?}", self.mach.sim.now(), self.mach.watchers.get(&(cache, line)));
+        }
+        
+        if let Some(ws) = self.mach.watchers.remove(&(cache, line)) {
+            for t in ws {
+                self.backend.on_line_invalidated(&mut self.mach, t, line);
+            }
+        }
+    }
+
+    fn complete_mem(&mut self, cache: usize, line: LineAddr) {
+        let key = (cache, line);
+        let pm = self
+            .mach
+            .pending_mem
+            .remove(&key)
+            .expect("completion without pending mem op");
+        let value = match pm.result {
+            Some(v) => v,
+            None => self.mach.apply_mem(pm),
+        };
+        if self.mach.dbg.watch_line == Some(line.0) {
+            eprintln!("[{}] complete_mem cache={cache} addr={} kind={:?} issuer={:?} val={value:#x}", self.mach.sim.now(), pm.addr, pm.kind, pm.issuer);
+        }
+        match pm.issuer {
+            MemIssuer::Prog(t) => {
+                let outcome = match pm.kind {
+                    MemKind::Load | MemKind::Rmw(_) => Outcome::Value(value),
+                    MemKind::Store(_) => Outcome::Completed,
+                };
+                self.drive(t, outcome);
+            }
+            MemIssuer::Backend(t) => self.backend.on_mem_value(&mut self.mach, t, value),
+        }
+        // Start the next queued op for this (cache, line), if any — unless
+        // the completion callback above already issued a fresh op on the
+        // same line (the slot is taken again; the queue drains at that
+        // op's completion).
+        if self.mach.pending_mem.contains_key(&key) {
+            return;
+        }
+        if let Some(q) = self.mach.mem_waitq.get_mut(&key) {
+            if let Some(next) = q.pop_front() {
+                if q.is_empty() {
+                    self.mach.mem_waitq.remove(&key);
+                }
+                self.mach.start_mem(cache, next);
+            } else {
+                self.mach.mem_waitq.remove(&key);
+            }
+        }
+    }
+
+    fn drive(&mut self, t: ThreadId, outcome: Outcome) {
+        let ti = t.0 as usize;
+        if self.mach.threads[ti].run == ThreadRun::Finished {
+            return;
+        }
+        let Some(core) = self.mach.threads[ti].core else {
+            debug_assert!(
+                self.mach.threads[ti].pending_outcome.is_none(),
+                "thread {ti} already has a stashed outcome"
+            );
+            self.mach.threads[ti].pending_outcome = Some(outcome);
+            return;
+        };
+        self.mach.threads[ti].computing = None;
+        let mut prog = self.mach.threads[ti]
+            .program
+            .take()
+            .expect("thread has no program");
+        let action = {
+            let now = self.mach.sim.now();
+            let mut ctx = Ctx {
+                now,
+                tid: t,
+                core,
+                rng: &mut self.mach.threads[ti].rng,
+            };
+            prog.resume(&mut ctx, outcome)
+        };
+        self.mach.threads[ti].program = Some(prog);
+        self.apply_action(t, core, action);
+    }
+
+    fn apply_action(&mut self, t: ThreadId, core: CoreId, action: Action) {
+        let ti = t.0 as usize;
+        match action {
+            Action::Compute(c) => {
+                self.mach.threads[ti].computing = Some(self.mach.sim.now() + c);
+                self.mach.sched_resume(t, Outcome::Completed, c);
+            }
+            Action::Read(a) => {
+                self.mach
+                    .issue_mem(core.0 as usize, a, MemKind::Load, MemIssuer::Prog(t));
+            }
+            Action::Write(a, v) => {
+                self.mach
+                    .issue_mem(core.0 as usize, a, MemKind::Store(v), MemIssuer::Prog(t));
+            }
+            Action::Rmw(a, op) => {
+                self.mach
+                    .issue_mem(core.0 as usize, a, MemKind::Rmw(op), MemIssuer::Prog(t));
+            }
+            Action::Acquire { lock, mode, try_for } => {
+                self.mach.threads[ti].waiting_since = Some(self.mach.sim.now());
+                self.backend.on_acquire(&mut self.mach, t, lock, mode, try_for);
+            }
+            Action::Release { lock, mode } => {
+                self.backend.on_release(&mut self.mach, t, lock, mode);
+            }
+            Action::Yield => {
+                self.mach.threads[ti].pending_outcome = Some(Outcome::Completed);
+                self.mach.cores[core.0 as usize] = None;
+                self.mach.threads[ti].core = None;
+                self.mach.threads[ti].run = ThreadRun::Ready;
+                self.mach.ready.push_back(t);
+                self.backend.on_thread_descheduled(&mut self.mach, t);
+                if let Some(next) = self.mach.ready.pop_front() {
+                    self.install(next, core.0 as usize, self.mach.cfg.ctx_switch);
+                }
+            }
+            Action::Done => {
+                self.mach.threads[ti].run = ThreadRun::Finished;
+                self.mach.threads[ti].core = None;
+                self.mach.cores[core.0 as usize] = None;
+                self.mach.alive -= 1;
+                if let Some(next) = self.mach.ready.pop_front() {
+                    self.install(next, core.0 as usize, self.mach.cfg.ctx_switch);
+                }
+            }
+        }
+    }
+
+    /// If `t` is mid-Compute, cancels the in-flight completion and banks
+    /// the remaining cycles for its next turn on a core.
+    fn suspend_compute(&mut self, t: ThreadId) {
+        let ti = t.0 as usize;
+        if let Some(end) = self.mach.threads[ti].computing.take() {
+            let now = self.mach.sim.now();
+            // The in-flight completion is cancelled by the generation bump,
+            // so always bank at least one cycle: a preemption landing on the
+            // compute's final cycle must still deliver its completion.
+            self.mach.threads[ti].compute_left = end.saturating_since(now).max(1);
+            self.mach.threads[ti].resume_gen += 1;
+        }
+    }
+
+    fn install(&mut self, t: ThreadId, core: usize, delay: Cycles) {
+        let ti = t.0 as usize;
+        debug_assert!(self.mach.cores[core].is_none());
+        debug_assert!(self.mach.threads[ti].run != ThreadRun::Finished);
+        self.mach.cores[core] = Some(t);
+        self.mach.threads[ti].core = Some(CoreId(core as u32));
+        self.mach.threads[ti].run = ThreadRun::Running;
+        self.mach
+            .sim
+            .schedule_in(delay, Ev::Installed(t, core));
+    }
+
+    fn finish_install(&mut self, t: ThreadId, core: usize) {
+        let ti = t.0 as usize;
+        // The thread may have been preempted again during the context
+        // switch; only proceed if it still owns the core.
+        if self.mach.cores[core] != Some(t) || self.mach.threads[ti].run == ThreadRun::Finished {
+            return;
+        }
+        self.backend
+            .on_thread_scheduled(&mut self.mach, t, CoreId(core as u32));
+        // Replay memory ops the backend issued while the thread was off-core.
+        while let Some((addr, kind)) = self.mach.threads[ti].deferred_mem.pop_front() {
+            self.mach
+                .issue_mem(core, addr, kind, MemIssuer::Backend(t));
+        }
+        let left = std::mem::take(&mut self.mach.threads[ti].compute_left);
+        if left > 0 {
+            self.mach.threads[ti].computing = Some(self.mach.sim.now() + left);
+            self.mach.sched_resume(t, Outcome::Completed, left);
+        }
+        if let Some(outcome) = self.mach.threads[ti].pending_outcome.take() {
+            self.drive(t, outcome);
+        }
+    }
+
+    fn maybe_activate_quantum(&mut self) {
+        if self.mach.alive > self.mach.cores.len() && !self.mach.quantum_active {
+            self.mach.quantum_active = true;
+            self.mach.quantum_gen += 1;
+            let gen = self.mach.quantum_gen;
+            let q = self.mach.cfg.quantum;
+            let n = self.mach.cores.len() as u64;
+            for core in 0..self.mach.cores.len() {
+                // Stagger expirations so cores do not context-switch in
+                // lockstep.
+                let offset = q + (core as u64 * q) / n.max(1);
+                self.mach.sim.schedule_in(offset, Ev::Quantum(core, gen));
+            }
+        }
+    }
+
+    fn quantum_tick(&mut self, core: usize, gen: u64) {
+        if gen != self.mach.quantum_gen || !self.mach.quantum_active {
+            return;
+        }
+        if self.mach.alive <= self.mach.cores.len() {
+            self.mach.quantum_active = false;
+            return;
+        }
+        if let Some(cur) = self.mach.cores[core] {
+            if !self.mach.ready.is_empty() {
+                let ci = cur.0 as usize;
+                self.suspend_compute(cur);
+                self.mach.cores[core] = None;
+                self.mach.threads[ci].core = None;
+                self.mach.threads[ci].run = ThreadRun::Ready;
+                self.mach.threads[ci].stats.preemptions += 1;
+                self.mach.ready.push_back(cur);
+                self.backend.on_thread_descheduled(&mut self.mach, cur);
+                let next = self.mach.ready.pop_front().expect("checked non-empty");
+                self.install(next, core, self.mach.cfg.ctx_switch);
+            }
+        } else if let Some(next) = self.mach.ready.pop_front() {
+            self.install(next, core, self.mach.cfg.ctx_switch);
+        }
+        let q = self.mach.cfg.quantum;
+        self.mach.sim.schedule_in(q, Ev::Quantum(core, gen));
+    }
+}

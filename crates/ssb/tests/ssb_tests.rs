@@ -1,0 +1,207 @@
+//! End-to-end SSB baseline tests.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use locksim_machine::testing::{FnProgram, ScriptProgram};
+use locksim_machine::{Action, Addr, Ctx, MachineConfig, Mode, Outcome, Program, World};
+use locksim_ssb::SsbBackend;
+
+struct CsLoop {
+    lock: Addr,
+    counter: Addr,
+    iters: u32,
+    write: bool,
+    i: u32,
+    stage: u8,
+    val: u64,
+}
+
+impl CsLoop {
+    fn new(lock: Addr, counter: Addr, iters: u32, write: bool) -> Self {
+        CsLoop { lock, counter, iters, write, i: 0, stage: 0, val: 0 }
+    }
+}
+
+impl Program for CsLoop {
+    fn resume(&mut self, _ctx: &mut Ctx<'_>, outcome: Outcome) -> Action {
+        loop {
+            match self.stage {
+                0 => {
+                    if self.i == self.iters {
+                        return Action::Done;
+                    }
+                    self.stage = 1;
+                    let mode = if self.write { Mode::Write } else { Mode::Read };
+                    return Action::Acquire { lock: self.lock, mode, try_for: None };
+                }
+                1 => {
+                    self.stage = 2;
+                    return Action::Read(self.counter);
+                }
+                2 => {
+                    let Outcome::Value(v) = outcome else { panic!() };
+                    self.val = v;
+                    self.stage = 3;
+                    return Action::Compute(50);
+                }
+                3 => {
+                    self.stage = 4;
+                    if self.write {
+                        return Action::Write(self.counter, self.val + 1);
+                    }
+                    continue;
+                }
+                4 => {
+                    self.stage = 5;
+                    let mode = if self.write { Mode::Write } else { Mode::Read };
+                    return Action::Release { lock: self.lock, mode };
+                }
+                5 => {
+                    self.i += 1;
+                    self.stage = 0;
+                    return Action::Compute(100);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn world(chips: usize, seed: u64) -> World {
+    World::new(MachineConfig::model_a(chips), Box::new(SsbBackend::new()), seed)
+}
+
+#[test]
+fn mutual_exclusion_counter() {
+    let mut w = world(8, 1);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for _ in 0..8 {
+        w.spawn(Box::new(CsLoop::new(lock, counter, 20, true)));
+    }
+    w.run_to_completion();
+    assert_eq!(w.mach().mem_peek(counter), 8 * 20);
+}
+
+#[test]
+fn readers_share() {
+    let mut w = world(8, 2);
+    let lock = w.mach().alloc().alloc_line();
+    for _ in 0..6 {
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Compute(30_000),
+            Action::Release { lock, mode: Mode::Read },
+        ])));
+    }
+    w.run_to_completion();
+    assert!(w.mach().now().cycles() < 2 * 30_000);
+}
+
+#[test]
+fn contended_lock_generates_remote_retries() {
+    let mut w = world(8, 3);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for _ in 0..8 {
+        w.spawn(Box::new(CsLoop::new(lock, counter, 10, true)));
+    }
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert!(c.get("ssb_retries") > 50, "expected heavy retrying: {c:?}");
+    // Far more requests than grants: the no-queue cost.
+    assert!(c.get("ssb_requests") > c.get("ssb_grants") * 2);
+}
+
+#[test]
+fn trylock_expires() {
+    let mut w = world(4, 4);
+    let lock = w.mach().alloc().alloc_line();
+    let result = Rc::new(RefCell::new(None));
+    let r2 = result.clone();
+    w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Compute(60_000),
+        Action::Release { lock, mode: Mode::Write },
+    ])));
+    let mut stage = 0;
+    w.spawn(Box::new(FnProgram(move |_: &mut Ctx<'_>, outcome: Outcome| {
+        stage += 1;
+        match stage {
+            1 => Action::Compute(2_000),
+            2 => Action::Acquire { lock, mode: Mode::Write, try_for: Some(5_000) },
+            3 => {
+                *r2.borrow_mut() = Some(outcome);
+                Action::Done
+            }
+            _ => Action::Done,
+        }
+    })));
+    w.run_to_completion();
+    assert_eq!(*result.borrow(), Some(Outcome::Failed));
+}
+
+#[test]
+fn reader_preference_can_starve_writers_temporarily() {
+    // Overlapping readers keep the lock in read mode; the writer's grant
+    // only happens after a window where no reader holds it. With staggered
+    // long readers, the writer needs far longer than its request latency.
+    let mut w = world(8, 5);
+    let lock = w.mach().alloc().alloc_line();
+    let writer_granted = Rc::new(RefCell::new(None));
+    for i in 0..4u64 {
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Compute(1 + i * 4_000),
+            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Compute(20_000),
+            Action::Release { lock, mode: Mode::Read },
+        ])));
+    }
+    let wg = writer_granted.clone();
+    let mut stage = 0;
+    w.spawn(Box::new(FnProgram(move |ctx: &mut Ctx<'_>, _: Outcome| {
+        stage += 1;
+        match stage {
+            1 => Action::Compute(2_000),
+            2 => Action::Acquire { lock, mode: Mode::Write, try_for: None },
+            3 => {
+                *wg.borrow_mut() = Some(ctx.now.cycles());
+                Action::Release { lock, mode: Mode::Write }
+            }
+            _ => Action::Done,
+        }
+    })));
+    w.run_to_completion();
+    let granted_at = writer_granted.borrow().expect("writer finished");
+    // The writer requested at ~2k but readers held (in overlapping
+    // sessions) until the last one released.
+    assert!(granted_at > 15_000, "writer got in at {granted_at}");
+}
+
+#[test]
+fn determinism() {
+    let run = || {
+        let mut w = world(8, 6);
+        let lock = w.mach().alloc().alloc_line();
+        let counter = w.mach().alloc().alloc_line();
+        for i in 0..8 {
+            w.spawn(Box::new(CsLoop::new(lock, counter, 8, i % 2 == 0)));
+        }
+        w.run_to_completion();
+        w.mach().now().cycles()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn model_b_works() {
+    let mut w = World::new(MachineConfig::model_b(), Box::new(SsbBackend::new()), 7);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for _ in 0..16 {
+        w.spawn(Box::new(CsLoop::new(lock, counter, 6, true)));
+    }
+    w.run_to_completion();
+    assert_eq!(w.mach().mem_peek(counter), 16 * 6);
+}

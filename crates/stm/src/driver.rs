@@ -1,0 +1,415 @@
+//! The transactional workload driver: an object-based STM in the style of
+//! Fraser's OSTM, with two commit protocols.
+//!
+//! * [`StmKind::LockBased`] — the paper's *sw-only/LCU* variant: **visible
+//!   readers**. At commit the transaction acquires read locks on its read
+//!   set and write locks on its write set (in global object order, so no
+//!   deadlock), validates versions, applies, and releases. Read-locking
+//!   the root of a tree-shaped structure on every transaction is the
+//!   congestion the paper measures.
+//! * [`StmKind::Fraser`] — the nonblocking reference: **invisible
+//!   readers**. Commit write-locks only the write set (trylock, standing
+//!   in for CAS ownership acquisition), validates the read set by
+//!   re-reading versions, applies, and releases. No privatization safety,
+//!   much shorter commit.
+//!
+//! Conflict detection is by per-object version stamps stored in simulated
+//! memory: every committed write stores a fresh unique stamp; validation
+//! re-reads and compares.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use locksim_engine::{Cycles, Time};
+use locksim_machine::{Action, Alloc, Ctx, Mode, Outcome, Program};
+
+use crate::object::{ObjId, ObjectSpace};
+use crate::structures::{Op, Plan, TxStructure};
+
+/// Commit protocol selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmKind {
+    /// Visible readers: RW locks on read+write sets at commit.
+    LockBased,
+    /// Invisible readers: write locks only, read-set validation.
+    Fraser,
+}
+
+/// Aggregated per-thread transaction statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TxStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Total cycles from first attempt to commit, summed over txns.
+    pub total_cycles: Cycles,
+    /// Cycles in the read/search phase (committed attempts only).
+    pub read_cycles: Cycles,
+    /// Cycles in the commit phase: locking, validation, write-back,
+    /// unlocking (committed attempts only).
+    pub commit_cycles: Cycles,
+    /// Writes applied to objects outside the planned write set (RB fixups
+    /// reaching an uncle node); bumped versions keep readers safe.
+    pub unplanned_writes: u64,
+}
+
+/// Everything the transaction threads share.
+pub struct TxShared {
+    /// The structure under test.
+    pub structure: RefCell<Box<dyn TxStructure>>,
+    /// Object → address mapping.
+    pub space: RefCell<ObjectSpace>,
+    /// Allocator for the object region (disjoint from the machine's).
+    pub alloc: RefCell<Alloc>,
+}
+
+impl TxShared {
+    /// Wraps a populated structure for sharing between thread programs.
+    pub fn new(structure: Box<dyn TxStructure>, space: ObjectSpace, alloc: Alloc) -> Rc<Self> {
+        Rc::new(TxShared {
+            structure: RefCell::new(structure),
+            space: RefCell::new(space),
+            alloc: RefCell::new(alloc),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Reading,
+    NodeCompute,
+    Locking,
+    Validating,
+    Writing,
+    Unlocking,
+    AbortUnlocking,
+    Backoff,
+    ThinkTime,
+}
+
+/// One transactional thread: runs `n_txns` transactions against the shared
+/// structure and records statistics.
+pub struct TxThread {
+    kind: StmKind,
+    shared: Rc<TxShared>,
+    stats: Rc<RefCell<TxStats>>,
+    n_txns: u32,
+    read_pct: u32,
+    key_range: u64,
+    per_node_compute: Cycles,
+    think_time: Cycles,
+    // FSM state
+    phase: Phase,
+    op: Op,
+    plan: Plan,
+    versions: Vec<u64>,
+    lockset: Vec<(ObjId, Mode)>,
+    write_stamps: Vec<(ObjId, u64)>,
+    idx: usize,
+    done: u32,
+    applied: bool,
+    tx_start: Time,
+    read_start: Time,
+    commit_start: Time,
+    stamp_counter: u64,
+}
+
+impl TxThread {
+    /// Creates a transactional thread.
+    pub fn new(
+        kind: StmKind,
+        shared: Rc<TxShared>,
+        stats: Rc<RefCell<TxStats>>,
+        n_txns: u32,
+        read_pct: u32,
+        key_range: u64,
+    ) -> Self {
+        TxThread {
+            kind,
+            shared,
+            stats,
+            n_txns,
+            read_pct,
+            key_range,
+            per_node_compute: 20,
+            think_time: 200,
+            phase: Phase::Idle,
+            op: Op::Lookup(0),
+            plan: Plan::default(),
+            versions: Vec::new(),
+            lockset: Vec::new(),
+            write_stamps: Vec::new(),
+            idx: 0,
+            done: 0,
+            applied: false,
+            tx_start: Time::ZERO,
+            read_start: Time::ZERO,
+            commit_start: Time::ZERO,
+            stamp_counter: 0,
+        }
+    }
+
+    fn build_lockset(&mut self) {
+        self.lockset.clear();
+        let writes = &self.plan.writes;
+        match self.kind {
+            StmKind::LockBased => {
+                for &o in &self.plan.reads {
+                    if !writes.contains(&o) {
+                        self.lockset.push((o, Mode::Read));
+                    }
+                }
+                for &o in writes {
+                    self.lockset.push((o, Mode::Write));
+                }
+            }
+            StmKind::Fraser => {
+                for &o in writes {
+                    self.lockset.push((o, Mode::Write));
+                }
+            }
+        }
+        // Global order prevents deadlock.
+        self.lockset.sort_by_key(|&(o, _)| o);
+        self.lockset.dedup_by_key(|&mut (o, _)| o);
+    }
+
+    fn acquire_action(&self, ctx: &mut Ctx<'_>) -> Action {
+        let (obj, mode) = self.lockset[self.idx];
+        let lock = self.shared.space.borrow().lock_addr(obj);
+        let try_for = match self.kind {
+            // Trylock stands in for CAS-based ownership in Fraser's OSTM.
+            StmKind::Fraser => Some(2_000 + ctx.rng.below(1_000)),
+            StmKind::LockBased => None,
+        };
+        Action::Acquire { lock, mode, try_for }
+    }
+
+    fn release_action(&self) -> Action {
+        let (obj, mode) = self.lockset[self.idx];
+        let lock = self.shared.space.borrow().lock_addr(obj);
+        Action::Release { lock, mode }
+    }
+
+    /// Starts a new attempt: pick/keep the op, plan, move to Reading.
+    fn start_attempt(&mut self, ctx: &mut Ctx<'_>, fresh_op: bool) -> Action {
+        if fresh_op {
+            let key = ctx.rng.below(self.key_range);
+            self.op = if ctx.rng.below(100) < self.read_pct as u64 {
+                Op::Lookup(key)
+            } else if ctx.rng.chance(0.5) {
+                Op::Insert(key)
+            } else {
+                Op::Delete(key)
+            };
+            self.tx_start = ctx.now;
+        }
+        self.plan = self.shared.structure.borrow().plan(self.op, ctx.rng.next_u64());
+        self.versions.clear();
+        self.idx = 0;
+        self.applied = false;
+        self.read_start = ctx.now;
+        self.phase = Phase::Reading;
+        let first = self.plan.reads[0];
+        Action::Read(self.shared.space.borrow().data_addr(first))
+    }
+
+    fn abort(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        self.stats.borrow_mut().aborts += 1;
+        if self.idx > 0 {
+            // Release locks [0, idx) in reverse; reuse idx as cursor.
+            self.idx -= 1;
+            self.phase = Phase::AbortUnlocking;
+            self.release_action()
+        } else {
+            self.phase = Phase::Backoff;
+            Action::Compute(200 + ctx.rng.below(1_800))
+        }
+    }
+
+    fn fresh_stamp(&mut self, ctx: &Ctx<'_>) -> u64 {
+        self.stamp_counter += 1;
+        ((u64::from(ctx.tid.0) + 1) << 40) | self.stamp_counter
+    }
+}
+
+impl Program for TxThread {
+    fn resume(&mut self, ctx: &mut Ctx<'_>, outcome: Outcome) -> Action {
+        // The outcome belongs to exactly one FSM step; phases entered by
+        // fall-through see `None`.
+        let mut out = Some(outcome);
+        loop {
+            match self.phase {
+                Phase::Idle => {
+                    if self.done == self.n_txns {
+                        return Action::Done;
+                    }
+                    return self.start_attempt(ctx, true);
+                }
+                Phase::Reading => {
+                    let Some(Outcome::Value(v)) = out.take() else {
+                        panic!("reading: expected a value")
+                    };
+                    self.versions.push(v);
+                    self.phase = Phase::NodeCompute;
+                    return Action::Compute(self.per_node_compute);
+                }
+                Phase::NodeCompute => {
+                    out.take();
+                    self.idx += 1;
+                    if self.idx < self.plan.reads.len() {
+                        self.phase = Phase::Reading;
+                        let obj = self.plan.reads[self.idx];
+                        return Action::Read(self.shared.space.borrow().data_addr(obj));
+                    }
+                    // Read phase over; move to commit.
+                    self.stats.borrow_mut().read_cycles += ctx.now - self.read_start;
+                    self.commit_start = ctx.now;
+                    self.build_lockset();
+                    self.idx = 0;
+                    if self.lockset.is_empty() {
+                        // Fraser read-only transaction: straight to validation.
+                        self.phase = Phase::Validating;
+                        continue;
+                    }
+                    self.phase = Phase::Locking;
+                    return self.acquire_action(ctx);
+                }
+                Phase::Locking => {
+                    match out.take() {
+                        Some(Outcome::Granted) => {
+                            self.idx += 1;
+                            if self.idx < self.lockset.len() {
+                                return self.acquire_action(ctx);
+                            }
+                            self.phase = Phase::Validating;
+                            self.idx = 0;
+                            continue;
+                        }
+                        Some(Outcome::Failed) => {
+                            // Fraser trylock lost: abort (releases [0, idx)).
+                            return self.abort(ctx);
+                        }
+                        other => panic!("locking: unexpected {other:?}"),
+                    }
+                }
+                Phase::Validating => {
+                    match out.take() {
+                        None => {
+                            // Entering: issue the first validation read.
+                            debug_assert_eq!(self.idx, 0);
+                            if self.plan.reads.is_empty() {
+                                self.phase = Phase::Writing;
+                                continue;
+                            }
+                            let obj = self.plan.reads[0];
+                            return Action::Read(self.shared.space.borrow().data_addr(obj));
+                        }
+                        Some(Outcome::Value(v)) => {
+                            if v != self.versions[self.idx] {
+                                // Conflict: release everything we hold.
+                                self.idx = self.lockset.len();
+                                return self.abort(ctx);
+                            }
+                            self.idx += 1;
+                            if self.idx < self.plan.reads.len() {
+                                let obj = self.plan.reads[self.idx];
+                                return Action::Read(self.shared.space.borrow().data_addr(obj));
+                            }
+                            self.phase = Phase::Writing;
+                            continue;
+                        }
+                        other => panic!("validating: unexpected {other:?}"),
+                    }
+                }
+                Phase::Writing => {
+                    out.take();
+                    if !self.applied {
+                        // Apply the operation to the shadow structure and
+                        // compute the stamp writes.
+                        let modified = {
+                            let shared = &self.shared;
+                            let mut st = shared.structure.borrow_mut();
+                            let mut space = shared.space.borrow_mut();
+                            let mut alloc = shared.alloc.borrow_mut();
+                            st.perform(&mut space, &mut alloc, self.op, self.plan.aux)
+                        };
+                        self.write_stamps.clear();
+                        for obj in modified {
+                            if !self.plan.writes.contains(&obj) {
+                                self.stats.borrow_mut().unplanned_writes += 1;
+                            }
+                            let stamp = self.fresh_stamp(ctx);
+                            self.write_stamps.push((obj, stamp));
+                        }
+                        self.applied = true;
+                        self.idx = 0;
+                    }
+                    if self.idx < self.write_stamps.len() {
+                        let (obj, stamp) = self.write_stamps[self.idx];
+                        self.idx += 1;
+                        let addr = self.shared.space.borrow().data_addr(obj);
+                        return Action::Write(addr, stamp);
+                    }
+                    // All writes issued; unlock.
+                    self.idx = self.lockset.len();
+                    self.phase = Phase::Unlocking;
+                    continue;
+                }
+                Phase::Unlocking => {
+                    out.take();
+                    if self.idx == 0 {
+                        self.phase = Phase::ThinkTime;
+                        continue;
+                    }
+                    self.idx -= 1;
+                    return self.release_action();
+                }
+                Phase::AbortUnlocking => {
+                    out.take();
+                    if self.idx == 0 {
+                        self.phase = Phase::Backoff;
+                        return Action::Compute(200 + ctx.rng.below(1_800));
+                    }
+                    self.idx -= 1;
+                    return self.release_action();
+                }
+                Phase::Backoff => {
+                    out.take();
+                    // Retry the same operation with a fresh plan.
+                    return self.start_attempt(ctx, false);
+                }
+                Phase::ThinkTime => {
+                    out.take();
+                    // Transaction committed.
+                    {
+                        let mut s = self.stats.borrow_mut();
+                        s.commits += 1;
+                        s.total_cycles += ctx.now - self.tx_start;
+                        s.commit_cycles += ctx.now - self.commit_start;
+                    }
+                    self.done += 1;
+                    self.phase = Phase::Idle;
+                    return Action::Compute(self.think_time);
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "tx-thread"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_default_zeroed() {
+        let s = TxStats::default();
+        assert_eq!(s.commits + s.aborts, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Transactional objects: identity plus simulated memory placement.
+
+use locksim_machine::{Addr, Alloc};
+
+/// Identifies a transactional object (one data-structure node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+/// Maps objects to their simulated memory: a lock word (acquired through
+/// the machine's lock backend) and a data word holding the object's
+/// version number.
+///
+/// # Example
+///
+/// ```
+/// use locksim_machine::Alloc;
+/// use locksim_stm::{ObjId, ObjectSpace};
+///
+/// let mut alloc = Alloc::new();
+/// let mut space = ObjectSpace::new();
+/// let a = space.alloc(&mut alloc);
+/// let b = space.alloc(&mut alloc);
+/// assert_ne!(space.lock_addr(a), space.lock_addr(b));
+/// assert_ne!(space.data_addr(a).line(), space.lock_addr(a).line());
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjectSpace {
+    locks: Vec<Addr>,
+    data: Vec<Addr>,
+}
+
+impl ObjectSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh object with its own lock and data lines (padded to
+    /// avoid false sharing between objects).
+    pub fn alloc(&mut self, alloc: &mut Alloc) -> ObjId {
+        let id = ObjId(self.locks.len() as u32);
+        self.locks.push(alloc.alloc_line());
+        self.data.push(alloc.alloc_line());
+        id
+    }
+
+    /// The object's lock word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` was not allocated from this space.
+    pub fn lock_addr(&self, o: ObjId) -> Addr {
+        self.locks[o.0 as usize]
+    }
+
+    /// The object's data (version) word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` was not allocated from this space.
+    pub fn data_addr(&self, o: ObjId) -> Addr {
+        self.data[o.0 as usize]
+    }
+
+    /// Number of allocated objects.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether no objects exist.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_distinct_lines() {
+        let mut alloc = Alloc::new();
+        let mut s = ObjectSpace::new();
+        let ids: Vec<ObjId> = (0..10).map(|_| s.alloc(&mut alloc)).collect();
+        let mut lines = std::collections::BTreeSet::new();
+        for &id in &ids {
+            assert!(lines.insert(s.lock_addr(id).line()));
+            assert!(lines.insert(s.data_addr(id).line()));
+        }
+        assert_eq!(s.len(), 10);
+    }
+}

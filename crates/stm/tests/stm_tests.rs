@@ -1,0 +1,234 @@
+//! STM integration tests: transactions on the simulated machine across
+//! lock backends.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use locksim_core::LcuBackend;
+use locksim_machine::{Alloc, LockBackend, MachineConfig, World};
+use locksim_ssb::SsbBackend;
+use locksim_stm::{
+    HashTable, ObjectSpace, Op, RbTree, SkipList, StmKind, TxShared, TxStats, TxStructure,
+    TxThread,
+};
+use locksim_swlocks::{SwAlg, SwLockBackend};
+
+enum Structure {
+    Rb,
+    Skip,
+    Hash,
+}
+
+fn build_shared(which: Structure, initial_keys: u64, key_range: u64) -> Rc<TxShared> {
+    let mut alloc = Alloc::starting_at(1 << 40);
+    let mut space = ObjectSpace::new();
+    let mut st: Box<dyn TxStructure> = match which {
+        Structure::Rb => Box::new(RbTree::new(&mut space, &mut alloc)),
+        Structure::Skip => Box::new(SkipList::new(&mut space, &mut alloc)),
+        Structure::Hash => Box::new(HashTable::new(&mut space, &mut alloc, 256)),
+    };
+    // Populate with every other key so inserts and deletes both hit ~50%.
+    let mut i = 0;
+    let mut lvl_seed = 0x9E3779B97F4A7C15u64;
+    while i < initial_keys {
+        let key = (i * 2) % key_range;
+        lvl_seed = lvl_seed.rotate_left(7).wrapping_mul(0xBF58476D1CE4E5B9);
+        let aux = (lvl_seed % 4) + 1;
+        st.perform(&mut space, &mut alloc, Op::Insert(key), aux);
+        i += 1;
+    }
+    TxShared::new(st, space, alloc)
+}
+
+fn run_stm(
+    backend: Box<dyn LockBackend>,
+    kind: StmKind,
+    which: Structure,
+    threads: usize,
+    txns: u32,
+    read_pct: u32,
+    seed: u64,
+) -> (TxStats, u64) {
+    let mut w = World::new(MachineConfig::model_a(16), backend, seed);
+    let key_range = 512;
+    let shared = build_shared(which, 128, key_range);
+    let stats = Rc::new(RefCell::new(TxStats::default()));
+    for _ in 0..threads {
+        w.spawn(Box::new(TxThread::new(
+            kind,
+            shared.clone(),
+            stats.clone(),
+            txns,
+            read_pct,
+            key_range,
+        )));
+    }
+    w.run_to_completion();
+    shared.structure.borrow().check_invariants();
+    let s = *stats.borrow();
+    (s, w.mach().now().cycles())
+}
+
+#[test]
+fn lockbased_rb_on_lcu_commits_everything() {
+    let (s, _) = run_stm(
+        Box::new(LcuBackend::new()),
+        StmKind::LockBased,
+        Structure::Rb,
+        8,
+        15,
+        75,
+        1,
+    );
+    assert_eq!(s.commits, 8 * 15);
+}
+
+#[test]
+fn lockbased_rb_on_mrsw_commits_everything() {
+    let (s, _) = run_stm(
+        Box::new(SwLockBackend::new(SwAlg::Mrsw)),
+        StmKind::LockBased,
+        Structure::Rb,
+        8,
+        10,
+        75,
+        2,
+    );
+    assert_eq!(s.commits, 8 * 10);
+}
+
+#[test]
+fn lockbased_rb_on_ssb_commits_everything() {
+    let (s, _) = run_stm(
+        Box::new(SsbBackend::new()),
+        StmKind::LockBased,
+        Structure::Rb,
+        8,
+        10,
+        75,
+        3,
+    );
+    assert_eq!(s.commits, 8 * 10);
+}
+
+#[test]
+fn fraser_rb_on_tatas_commits_everything() {
+    let (s, _) = run_stm(
+        Box::new(SwLockBackend::new(SwAlg::Tatas)),
+        StmKind::Fraser,
+        Structure::Rb,
+        8,
+        15,
+        75,
+        4,
+    );
+    assert_eq!(s.commits, 8 * 15);
+}
+
+#[test]
+fn skiplist_transactions_work() {
+    let (s, _) = run_stm(
+        Box::new(LcuBackend::new()),
+        StmKind::LockBased,
+        Structure::Skip,
+        8,
+        12,
+        75,
+        5,
+    );
+    assert_eq!(s.commits, 8 * 12);
+}
+
+#[test]
+fn hashtable_transactions_work() {
+    let (s, _) = run_stm(
+        Box::new(LcuBackend::new()),
+        StmKind::LockBased,
+        Structure::Hash,
+        8,
+        12,
+        75,
+        6,
+    );
+    assert_eq!(s.commits, 8 * 12);
+}
+
+#[test]
+fn pure_update_workload_keeps_invariants() {
+    let (s, _) = run_stm(
+        Box::new(LcuBackend::new()),
+        StmKind::LockBased,
+        Structure::Rb,
+        12,
+        12,
+        0, // every transaction is an update
+        7,
+    );
+    assert_eq!(s.commits, 12 * 12);
+}
+
+#[test]
+fn fraser_commit_phase_is_shorter_than_lockbased() {
+    // Invisible readers skip read-locking ~log n objects at commit.
+    let (lock_based, _) = run_stm(
+        Box::new(SwLockBackend::new(SwAlg::Mrsw)),
+        StmKind::LockBased,
+        Structure::Rb,
+        8,
+        10,
+        75,
+        8,
+    );
+    let (fraser, _) = run_stm(
+        Box::new(SwLockBackend::new(SwAlg::Tatas)),
+        StmKind::Fraser,
+        Structure::Rb,
+        8,
+        10,
+        75,
+        8,
+    );
+    let lb = lock_based.commit_cycles / lock_based.commits.max(1);
+    let fr = fraser.commit_cycles / fraser.commits.max(1);
+    assert!(fr < lb, "fraser commit {fr} !< lock-based commit {lb}");
+}
+
+#[test]
+fn conflicting_updates_cause_aborts_but_converge() {
+    // Tiny key range: heavy conflicts.
+    let mut w = World::new(MachineConfig::model_a(8), Box::new(LcuBackend::new()), 9);
+    let shared = build_shared(Structure::Rb, 4, 8);
+    let stats = Rc::new(RefCell::new(TxStats::default()));
+    for _ in 0..8 {
+        w.spawn(Box::new(TxThread::new(
+            StmKind::Fraser,
+            shared.clone(),
+            stats.clone(),
+            10,
+            0,
+            8,
+        )));
+    }
+    w.run_to_completion();
+    shared.structure.borrow().check_invariants();
+    let s = *stats.borrow();
+    assert_eq!(s.commits, 80);
+    assert!(s.aborts > 0, "expected conflicts in an 8-key range");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let run = || {
+        run_stm(
+            Box::new(LcuBackend::new()),
+            StmKind::LockBased,
+            Structure::Rb,
+            6,
+            8,
+            50,
+            10,
+        )
+        .1
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,149 @@
+//! The Mellor-Crummey–Scott queue lock, executed memory-op by memory-op.
+//!
+//! Queue node layout (one line per `(thread, lock)`): word 0 = `next`
+//! pointer, word 1 = `locked` flag. The lock's tail pointer lives in the
+//! lock's side memory. MRSW reuses this machine for its writer queue; on
+//! MCS-acquisition an MRSW writer continues into the reader-drain phases
+//! instead of being granted.
+
+use locksim_machine::{Addr, Mach, RmwOp, ThreadId};
+
+use crate::state::{read, rmw, write, OpKind, Phase, Step, SwState};
+
+pub(crate) fn start_acquire(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let lock = st.threads[&t].lock;
+    let lm = st.lock_mem(m, lock);
+    let q = st.qnode(m, t, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    tsm.qnode = q;
+    tsm.scratch = lm.tail.0;
+    tsm.phase = Phase::McsInit;
+    // qnode.next = null
+    write(m, t, q, 0);
+}
+
+pub(crate) fn start_release(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let lock = st.threads[&t].lock;
+    let lm = st.lock_mem(m, lock);
+    let q = st.qnode(m, t, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    debug_assert_eq!(tsm.op, OpKind::Release);
+    tsm.qnode = q;
+    tsm.scratch = lm.tail.0;
+    tsm.phase = Phase::McsRelReadNext;
+    read(m, t, q);
+}
+
+/// Advances the MCS machine. `mrsw_writer` selects what happens when the
+/// queue grants: plain MCS grants the lock; an MRSW writer proceeds to set
+/// the writer-active flag and drain readers.
+pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, mrsw_writer: bool) {
+    let Some(tsm) = st.threads.get_mut(&t) else { return };
+    let q = tsm.qnode;
+    let tail = Addr(tsm.scratch);
+    match (tsm.phase, step) {
+        // ---- acquire ----
+        (Phase::McsInit, Step::Value(_)) => {
+            tsm.phase = Phase::McsSwap;
+            rmw(m, t, tail, RmwOp::Swap(q.0));
+        }
+        (Phase::McsSwap, Step::Value(pred)) => {
+            if pred == 0 {
+                mcs_acquired(st, m, t, mrsw_writer);
+            } else {
+                // locked = 1, then link pred.next = q, then spin.
+                tsm.phase = Phase::McsStoreLocked;
+                // Stash the predecessor in the high scratch bits? No —
+                // repurpose: the tail address is recoverable from lock_mem,
+                // so scratch can hold the predecessor now.
+                tsm.scratch = pred;
+                write(m, t, q.add(1), 1);
+            }
+        }
+        (Phase::McsStoreLocked, Step::Value(_)) => {
+            let pred = Addr(tsm.scratch);
+            tsm.phase = Phase::McsLinkPred;
+            write(m, t, pred, q.0);
+        }
+        (Phase::McsLinkPred, Step::Value(_)) => {
+            tsm.phase = Phase::McsSpinRead;
+            read(m, t, q.add(1));
+        }
+        (Phase::McsSpinRead, Step::Value(v)) => {
+            if v == 0 {
+                mcs_acquired(st, m, t, mrsw_writer);
+            } else {
+                tsm.phase = Phase::McsSpinWait;
+                st.counters.incr("sw_mcs_spins");
+                st.guarded_watch(m, t, q.add(1));
+            }
+        }
+        (Phase::McsSpinWait, Step::Wake) => {
+            tsm.phase = Phase::McsSpinRead;
+            read(m, t, q.add(1));
+        }
+        // ---- release ----
+        (Phase::McsRelReadNext, Step::Value(next)) => {
+            if next != 0 {
+                tsm.phase = Phase::McsRelUnlock;
+                write(m, t, Addr(next).add(1), 0);
+            } else {
+                tsm.phase = Phase::McsRelCas;
+                rmw(m, t, tail, RmwOp::CompareSwap { expect: q.0, new: 0 });
+            }
+        }
+        (Phase::McsRelCas, Step::Value(old)) => {
+            if old == q.0 {
+                // No successor: lock is free.
+                st.released(m, t);
+            } else {
+                // A successor is mid-enqueue: wait for it to link.
+                tsm.phase = Phase::McsRelSpinRead;
+                read(m, t, q);
+            }
+        }
+        (Phase::McsRelSpinRead, Step::Value(next)) => {
+            if next != 0 {
+                tsm.phase = Phase::McsRelUnlock;
+                write(m, t, Addr(next).add(1), 0);
+            } else {
+                tsm.phase = Phase::McsRelSpinWait;
+                st.guarded_watch(m, t, q);
+            }
+        }
+        (Phase::McsRelSpinWait, Step::Wake) => {
+            tsm.phase = Phase::McsRelSpinRead;
+            read(m, t, q);
+        }
+        (Phase::McsRelUnlock, Step::Value(_)) => st.released(m, t),
+        (_, Step::Wake) | (_, Step::Timer) => {}
+        (p, s) => panic!("mcs machine: unexpected {s:?} in {p:?}"),
+    }
+}
+
+/// The queue made this thread the lock holder.
+fn mcs_acquired(st: &mut SwState, m: &mut Mach, t: ThreadId, mrsw_writer: bool) {
+    if mrsw_writer {
+        crate::mrsw::writer_at_head(st, m, t);
+    } else {
+        st.grant(m, t);
+    }
+}
+
+/// Re-drives a spin phase after the thread was rescheduled (its watch may
+/// have been lost across a preemption or migration).
+pub(crate) fn redrive(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let Some(tsm) = st.threads.get_mut(&t) else { return };
+    let q = tsm.qnode;
+    match tsm.phase {
+        Phase::McsSpinWait => {
+            tsm.phase = Phase::McsSpinRead;
+            read(m, t, q.add(1));
+        }
+        Phase::McsRelSpinWait => {
+            tsm.phase = Phase::McsRelSpinRead;
+            read(m, t, q);
+        }
+        _ => {}
+    }
+}

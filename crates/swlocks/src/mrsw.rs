@@ -1,0 +1,190 @@
+//! A fair-ish reader-writer queue lock with a shared reader counter — the
+//! MRSW baseline.
+//!
+//! Readers: `fetch_add(rdr, +1)`, check `wactive`; if a writer is active,
+//! roll back (`fetch_add(rdr, -1)`) and spin on `wactive`. The counter line
+//! is the coherence hotspot the paper measures (two atomic RMWs per reader
+//! minimum, four under writer contention).
+//!
+//! Writers: MCS-enqueue on the writer queue (reusing [`crate::mcs`]); at
+//! the head, set `wactive`, then spin until the reader counter drains.
+//! Release hands off to the next queued writer directly (keeping `wactive`
+//! set) or clears `wactive`, waking readers.
+
+use locksim_machine::{Mach, RmwOp, ThreadId};
+
+use crate::state::{read, rmw, write, OpKind, Phase, Step, SwState};
+
+const MINUS_ONE: u64 = u64::MAX; // wrapping -1 for FetchAdd
+
+pub(crate) fn start_acquire_read(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let lock = st.threads[&t].lock;
+    let lm = st.lock_mem(m, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    tsm.phase = Phase::MrswRInc;
+    rmw(m, t, lm.rdr, RmwOp::FetchAdd(1));
+}
+
+pub(crate) fn start_release_read(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let lock = st.threads[&t].lock;
+    let lm = st.lock_mem(m, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    debug_assert_eq!(tsm.op, OpKind::Release);
+    tsm.phase = Phase::MrswRRelDec;
+    rmw(m, t, lm.rdr, RmwOp::FetchAdd(MINUS_ONE));
+}
+
+pub(crate) fn start_release_write(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let lock = st.threads[&t].lock;
+    let lm = st.lock_mem(m, lock);
+    let q = st.qnode(m, t, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    tsm.qnode = q;
+    tsm.scratch = lm.tail.0;
+    tsm.phase = Phase::MrswWRelReadNext;
+    read(m, t, q);
+}
+
+/// An MRSW writer reached the head of the writer queue: set the active
+/// flag and drain readers.
+pub(crate) fn writer_at_head(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let lock = st.threads[&t].lock;
+    let lm = st.lock_mem(m, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    tsm.phase = Phase::MrswWSetActive;
+    write(m, t, lm.wactive, 1);
+}
+
+pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step) {
+    let lock = match st.threads.get(&t) {
+        Some(tsm) => tsm.lock,
+        None => return,
+    };
+    let lm = st.lock_mem(m, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    match (tsm.phase, step) {
+        // ---- reader acquire ----
+        (Phase::MrswRInc, Step::Value(_)) => {
+            tsm.phase = Phase::MrswRCheckW;
+            read(m, t, lm.wactive);
+        }
+        (Phase::MrswRCheckW, Step::Value(w)) => {
+            if w == 0 {
+                st.grant(m, t);
+            } else {
+                // Roll back and wait for the writer to finish.
+                tsm.phase = Phase::MrswRDec;
+                st.counters.incr("sw_mrsw_rollbacks");
+                rmw(m, t, lm.rdr, RmwOp::FetchAdd(MINUS_ONE));
+            }
+        }
+        (Phase::MrswRDec, Step::Value(_)) => {
+            // Re-read before watching: the writer may already be gone.
+            tsm.phase = Phase::MrswRWaitCheck;
+            read(m, t, lm.wactive);
+        }
+        (Phase::MrswRWaitCheck, Step::Value(w)) => {
+            if w == 0 {
+                tsm.phase = Phase::MrswRInc;
+                rmw(m, t, lm.rdr, RmwOp::FetchAdd(1));
+            } else {
+                tsm.phase = Phase::MrswRWait;
+                st.guarded_watch(m, t, lm.wactive);
+            }
+        }
+        (Phase::MrswRWait, Step::Wake) => {
+            tsm.phase = Phase::MrswRWaitCheck;
+            read(m, t, lm.wactive);
+        }
+        // ---- reader release ----
+        (Phase::MrswRRelDec, Step::Value(_)) => st.released(m, t),
+        // ---- writer acquire (post queue-head) ----
+        (Phase::MrswWSetActive, Step::Value(_)) => {
+            tsm.phase = Phase::MrswWReadRdr;
+            read(m, t, lm.rdr);
+        }
+        (Phase::MrswWReadRdr, Step::Value(r)) => {
+            if r == 0 {
+                st.grant(m, t);
+            } else {
+                tsm.phase = Phase::MrswWWaitRdr;
+                st.counters.incr("sw_mrsw_writer_waits");
+                st.guarded_watch(m, t, lm.rdr);
+            }
+        }
+        (Phase::MrswWWaitRdr, Step::Wake) => {
+            tsm.phase = Phase::MrswWReadRdr;
+            read(m, t, lm.rdr);
+        }
+        // ---- writer release ----
+        (Phase::MrswWRelReadNext, Step::Value(next)) => {
+            if next != 0 {
+                // Direct handoff: wactive stays set for the next writer.
+                tsm.phase = Phase::MrswWRelUnlock;
+                write(m, t, locksim_machine::Addr(next).add(1), 0);
+            } else {
+                tsm.phase = Phase::MrswWRelCas;
+                let q = tsm.qnode;
+                rmw(m, t, lm.tail, RmwOp::CompareSwap { expect: q.0, new: 0 });
+            }
+        }
+        (Phase::MrswWRelCas, Step::Value(old)) => {
+            if old == tsm.qnode.0 {
+                // Queue empty: clear the writer flag, waking readers.
+                tsm.phase = Phase::MrswWRelClear;
+                write(m, t, lm.wactive, 0);
+            } else {
+                tsm.phase = Phase::MrswWRelSpinRead;
+                let q = tsm.qnode;
+                read(m, t, q);
+            }
+        }
+        (Phase::MrswWRelSpinRead, Step::Value(next)) => {
+            if next != 0 {
+                tsm.phase = Phase::MrswWRelUnlock;
+                write(m, t, locksim_machine::Addr(next).add(1), 0);
+            } else {
+                tsm.phase = Phase::MrswWRelSpinWait;
+                let q = tsm.qnode;
+                st.guarded_watch(m, t, q);
+            }
+        }
+        (Phase::MrswWRelSpinWait, Step::Wake) => {
+            tsm.phase = Phase::MrswWRelSpinRead;
+            let q = tsm.qnode;
+            read(m, t, q);
+        }
+        (Phase::MrswWRelClear, Step::Value(_)) | (Phase::MrswWRelUnlock, Step::Value(_)) => {
+            st.released(m, t)
+        }
+        (_, Step::Wake) | (_, Step::Timer) => {}
+        (p, s) => panic!("mrsw machine: unexpected {s:?} in {p:?}"),
+    }
+}
+
+/// Re-drives a spin phase after reschedule (watches do not survive
+/// migrations).
+pub(crate) fn redrive(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    let lock = match st.threads.get(&t) {
+        Some(tsm) => tsm.lock,
+        None => return,
+    };
+    let lm = st.lock_mem(m, lock);
+    let tsm = st.threads.get_mut(&t).expect("tsm");
+    match tsm.phase {
+        Phase::MrswRWait => {
+            tsm.phase = Phase::MrswRWaitCheck;
+            read(m, t, lm.wactive);
+        }
+        Phase::MrswWWaitRdr => {
+            tsm.phase = Phase::MrswWReadRdr;
+            read(m, t, lm.rdr);
+        }
+        Phase::MrswWRelSpinWait => {
+            tsm.phase = Phase::MrswWRelSpinRead;
+            let q = tsm.qnode;
+            read(m, t, q);
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared state for the software-lock state machines.
+
+use std::collections::HashMap;
+
+use locksim_engine::stats::Counters;
+use locksim_machine::{Addr, Checker, Mach, MemKind, Mode, RmwOp, ThreadId};
+
+/// Issues a timed load on behalf of `t`.
+pub(crate) fn read(m: &mut Mach, t: ThreadId, a: Addr) {
+    m.backend_mem(t, a, MemKind::Load);
+}
+
+/// Issues a timed store on behalf of `t`.
+pub(crate) fn write(m: &mut Mach, t: ThreadId, a: Addr, v: u64) {
+    m.backend_mem(t, a, MemKind::Store(v));
+}
+
+/// Issues a timed atomic RMW on behalf of `t`.
+pub(crate) fn rmw(m: &mut Mach, t: ThreadId, a: Addr, op: RmwOp) {
+    m.backend_mem(t, a, MemKind::Rmw(op));
+}
+
+/// One-shot invalidation watch on the line of `a`.
+pub(crate) fn watch(m: &mut Mach, t: ThreadId, a: Addr) {
+    m.watch_line(t, a.line());
+}
+
+/// Event driving a lock state machine forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// A memory operation completed with this (old) value.
+    Value(u64),
+    /// A watched line was invalidated.
+    Wake,
+    /// A parked thread's timer fired.
+    Timer,
+}
+
+/// Why a timer was armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerPurpose {
+    /// Parked adaptive-mutex spinner re-checks the lock.
+    Park,
+    /// Trylock budget expiry.
+    Abort,
+    /// Spin-wait fallback: if the thread is still in the recorded wait
+    /// phase when this fires, re-read instead of trusting the wake. Real
+    /// spin loops poll; the invalidation watch is only a fast path.
+    Fallback(Phase),
+}
+
+/// What a thread is currently doing to its lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    Acquire,
+    Release,
+}
+
+/// Phases of all the algorithms' state machines (flat enum; each algorithm
+/// uses its own subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    // TAS
+    TasRmw,
+    /// A trylock's swap won after its budget expired: store 0 back, then
+    /// report failure.
+    TasUndo,
+    // TATAS / Posix
+    TatasRead,
+    TatasWait,
+    TatasRmw,
+    PosixParked,
+    // simple release (store 0)
+    SimpleRelStore,
+    // MCS acquire
+    McsInit,
+    McsSwap,
+    McsStoreLocked,
+    McsLinkPred,
+    McsSpinRead,
+    McsSpinWait,
+    // MCS release
+    McsRelReadNext,
+    McsRelCas,
+    McsRelSpinRead,
+    McsRelSpinWait,
+    McsRelUnlock,
+    // MRSW read acquire
+    MrswRInc,
+    MrswRCheckW,
+    MrswRDec,
+    MrswRWaitCheck,
+    MrswRWait,
+    // MRSW read release
+    MrswRRelDec,
+    // MRSW write acquire
+    MrswWSetActive,
+    MrswWReadRdr,
+    MrswWWaitRdr,
+    // MRSW write release
+    MrswWRelReadNext,
+    MrswWRelCas,
+    MrswWRelClear,
+    MrswWRelSpinRead,
+    MrswWRelSpinWait,
+    MrswWRelUnlock,
+}
+
+/// Per-thread in-flight lock operation.
+#[derive(Debug)]
+pub(crate) struct Tsm {
+    pub lock: Addr,
+    pub mode: Mode,
+    pub op: OpKind,
+    pub phase: Phase,
+    /// This thread's queue node for `lock` (queue locks).
+    pub qnode: Addr,
+    /// Scratch register (predecessor / next pointer).
+    pub scratch: u64,
+    /// Trylock expired; unwind instead of granting.
+    pub aborted: bool,
+    /// Consecutive spin wake-ups (drives Posix parking).
+    pub spins: u64,
+}
+
+/// Side memory for one lock (allocated lazily, each word on its own line).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LockMem {
+    /// MCS tail pointer / MRSW writer-queue tail.
+    pub tail: Addr,
+    /// MRSW reader counter (the hotspot line).
+    pub rdr: Addr,
+    /// MRSW writer-active flag.
+    pub wactive: Addr,
+}
+
+/// Shared backend state handed to the per-algorithm modules.
+pub(crate) struct SwState {
+    pub threads: HashMap<ThreadId, Tsm>,
+    pub mem: HashMap<Addr, LockMem>,
+    pub qnodes: HashMap<(ThreadId, Addr), Addr>,
+    pub timers: HashMap<u64, (ThreadId, TimerPurpose)>,
+    pub timer_seq: u64,
+    pub counters: Counters,
+    pub checker: Checker,
+}
+
+impl SwState {
+    pub fn new() -> Self {
+        SwState {
+            threads: HashMap::new(),
+            mem: HashMap::new(),
+            qnodes: HashMap::new(),
+            timers: HashMap::new(),
+            timer_seq: 0,
+            counters: Counters::new(),
+            checker: Checker::new(),
+        }
+    }
+
+    /// Lazily allocates the side memory for a lock.
+    pub fn lock_mem(&mut self, m: &mut Mach, lock: Addr) -> LockMem {
+        if let Some(&lm) = self.mem.get(&lock) {
+            return lm;
+        }
+        let lm = LockMem {
+            tail: m.alloc().alloc_line(),
+            rdr: m.alloc().alloc_line(),
+            wactive: m.alloc().alloc_line(),
+        };
+        self.mem.insert(lock, lm);
+        lm
+    }
+
+    /// Lazily allocates this thread's queue node for `lock` (one line:
+    /// word 0 = next, word 1 = locked flag).
+    pub fn qnode(&mut self, m: &mut Mach, t: ThreadId, lock: Addr) -> Addr {
+        if let Some(&q) = self.qnodes.get(&(t, lock)) {
+            return q;
+        }
+        let q = m.alloc().alloc_line();
+        self.qnodes.insert((t, lock), q);
+        q
+    }
+
+    /// Arms a parked-thread timer.
+    pub fn park(&mut self, m: &mut Mach, t: ThreadId, delay: u64) {
+        self.arm(m, t, delay, TimerPurpose::Park);
+    }
+
+    /// Arms a trylock-expiry timer.
+    pub fn arm_abort(&mut self, m: &mut Mach, t: ThreadId, delay: u64) {
+        self.arm(m, t, delay, TimerPurpose::Abort);
+    }
+
+    /// Watches `a`'s line and arms a fallback re-check for the thread's
+    /// current wait phase.
+    pub fn guarded_watch(&mut self, m: &mut Mach, t: ThreadId, a: Addr) {
+        watch(m, t, a);
+        let phase = self.threads[&t].phase;
+        self.arm(m, t, 5_000, TimerPurpose::Fallback(phase));
+    }
+
+    fn arm(&mut self, m: &mut Mach, t: ThreadId, delay: u64, purpose: TimerPurpose) {
+        let token = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.insert(token, (t, purpose));
+        m.set_timer(delay, token);
+    }
+
+    /// Completes an acquire: checker + grant, state cleared.
+    pub fn grant(&mut self, m: &mut Mach, t: ThreadId) {
+        let tsm = self.threads.remove(&t).expect("grant without op");
+        debug_assert_eq!(tsm.op, OpKind::Acquire);
+        self.checker.on_grant(tsm.lock, t, tsm.mode);
+        self.counters.incr("sw_grants");
+        m.grant_lock(t);
+    }
+
+    /// Completes a failed trylock.
+    pub fn fail(&mut self, m: &mut Mach, t: ThreadId) {
+        self.threads.remove(&t);
+        self.counters.incr("sw_tryfails");
+        m.fail_lock(t);
+    }
+
+    /// Completes a release. (The checker records the release at issue time
+    /// in the backend — the critical section ends when the thread *invokes*
+    /// release; the store's completion message can legitimately arrive
+    /// after the next owner's grant.)
+    pub fn released(&mut self, m: &mut Mach, t: ThreadId) {
+        let tsm = self.threads.remove(&t).expect("release completion without op");
+        debug_assert_eq!(tsm.op, OpKind::Release);
+        self.counters.incr("sw_releases");
+        m.complete_release(t);
+    }
+}

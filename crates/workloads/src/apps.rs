@@ -1,0 +1,314 @@
+//! Synthetic application kernels with the locking patterns of the paper's
+//! Figure 13 benchmarks.
+//!
+//! The original binaries (Parsec Fluidanimate, Splash-2 Cholesky and
+//! Radiosity on Solaris) are unavailable; each kernel reproduces the
+//! *locking pattern* the paper describes for its application, which is
+//! what drives the figure's result:
+//!
+//! * [`FluidThread`] — grid cells updated under fine-grain locks, with
+//!   boundary cells shared between neighbouring threads. Hardware locking
+//!   can afford one lock per *value* (the paper's modified version), while
+//!   the software baseline locks whole cells — more contention, slower
+//!   transfers.
+//! * [`CholeskyThread`] — long numeric tasks punctuated by brief task-queue
+//!   critical sections: the lock implementation barely matters.
+//! * [`RadiosityThread`] — per-thread work queues with occasional stealing:
+//!   almost every acquire is of the thread's own queue lock, which
+//!   coherence-based locks keep in the local L1 ("implicit biasing"); the
+//!   LCU must re-request through the LRT and loses slightly.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use locksim_engine::Cycles;
+use locksim_machine::{Action, Addr, Ctx, Mode, Outcome, Program};
+
+/// Simulated-grid parameters for [`FluidThread`].
+#[derive(Debug, Clone)]
+pub struct FluidConfig {
+    /// Cells per thread partition.
+    pub cells_per_thread: usize,
+    /// Lockable values per cell; hardware fine-grain locking uses one lock
+    /// per value, coarse software locking passes 1.
+    pub values_per_cell: usize,
+    /// Updates each thread performs.
+    pub updates: u32,
+    /// Probability (percent) that an update targets a boundary cell shared
+    /// with the next thread.
+    pub boundary_pct: u32,
+    /// Compute per update.
+    pub update_compute: Cycles,
+}
+
+impl Default for FluidConfig {
+    fn default() -> Self {
+        FluidConfig {
+            cells_per_thread: 16,
+            values_per_cell: 4,
+            updates: 300,
+            boundary_pct: 20,
+            update_compute: 120,
+        }
+    }
+}
+
+/// Shared lock layout of the fluid grid: `locks[thread][cell][value]`.
+#[derive(Debug)]
+pub struct FluidGrid {
+    locks: Vec<Vec<Vec<Addr>>>,
+    fine_grain: bool,
+}
+
+impl FluidGrid {
+    /// Builds the lock grid. `fine_grain` selects per-value locks (the
+    /// paper's LCU-enabled variant) over per-cell locks.
+    pub fn new(
+        alloc: &mut locksim_machine::Alloc,
+        threads: usize,
+        cfg: &FluidConfig,
+        fine_grain: bool,
+    ) -> Rc<Self> {
+        let locks = (0..threads)
+            .map(|_| {
+                (0..cfg.cells_per_thread)
+                    .map(|_| {
+                        let n = if fine_grain { cfg.values_per_cell } else { 1 };
+                        (0..n).map(|_| alloc.alloc_line()).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Rc::new(FluidGrid { locks, fine_grain })
+    }
+
+    fn lock_for(&self, thread: usize, cell: usize, value: usize) -> Addr {
+        let cell_locks = &self.locks[thread][cell];
+        if self.fine_grain {
+            cell_locks[value % cell_locks.len()]
+        } else {
+            cell_locks[0]
+        }
+    }
+
+    fn n_threads(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+/// One fluidanimate-like thread.
+#[derive(Debug)]
+pub struct FluidThread {
+    grid: Rc<FluidGrid>,
+    cfg: FluidConfig,
+    me: usize,
+    done: u32,
+    stage: u8,
+    cur_lock: Addr,
+}
+
+impl FluidThread {
+    /// Creates the `me`-th thread of the kernel.
+    pub fn new(grid: Rc<FluidGrid>, cfg: FluidConfig, me: usize) -> Self {
+        FluidThread {
+            grid,
+            cfg,
+            me,
+            done: 0,
+            stage: 0,
+            cur_lock: Addr(0),
+        }
+    }
+}
+
+impl Program for FluidThread {
+    fn resume(&mut self, ctx: &mut Ctx<'_>, _outcome: Outcome) -> Action {
+        {
+            match self.stage {
+                0 => {
+                    if self.done == self.cfg.updates {
+                        return Action::Done;
+                    }
+                    // Pick the cell: usually ours, sometimes the boundary
+                    // cell shared with the neighbouring partition.
+                    let boundary = ctx.rng.below(100) < u64::from(self.cfg.boundary_pct);
+                    let owner = if boundary {
+                        (self.me + 1) % self.grid.n_threads()
+                    } else {
+                        self.me
+                    };
+                    let cell = if boundary {
+                        // One of the few cells on the shared partition edge.
+                        ctx.rng.below(4.min(self.cfg.cells_per_thread as u64)) as usize
+                    } else {
+                        ctx.rng.below(self.cfg.cells_per_thread as u64) as usize
+                    };
+                    let value = ctx.rng.below(self.cfg.values_per_cell as u64) as usize;
+                    self.cur_lock = self.grid.lock_for(owner, cell, value);
+                    self.stage = 1;
+                    Action::Acquire { lock: self.cur_lock, mode: Mode::Write, try_for: None }
+                }
+                1 => {
+                    self.stage = 2;
+                    Action::Compute(self.cfg.update_compute)
+                }
+                2 => {
+                    self.stage = 3;
+                    Action::Release { lock: self.cur_lock, mode: Mode::Write }
+                }
+                3 => {
+                    self.done += 1;
+                    self.stage = 0;
+                    // Position/density bookkeeping between updates.
+                    Action::Compute(100)
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "fluidanimate"
+    }
+}
+
+/// One cholesky-like thread: long factorization tasks taken from a shared
+/// queue under a brief lock.
+#[derive(Debug)]
+pub struct CholeskyThread {
+    queue_lock: Addr,
+    tasks: Rc<RefCell<u64>>,
+    task_compute: Cycles,
+    stage: u8,
+}
+
+impl CholeskyThread {
+    /// Creates a worker; `tasks` is the shared remaining-task pool.
+    pub fn new(queue_lock: Addr, tasks: Rc<RefCell<u64>>, task_compute: Cycles) -> Self {
+        CholeskyThread {
+            queue_lock,
+            tasks,
+            task_compute,
+            stage: 0,
+        }
+    }
+}
+
+impl Program for CholeskyThread {
+    fn resume(&mut self, _ctx: &mut Ctx<'_>, _outcome: Outcome) -> Action {
+        {
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    Action::Acquire { lock: self.queue_lock, mode: Mode::Write, try_for: None }
+                }
+                1 => {
+                    // Dequeue (brief).
+                    let more = {
+                        let mut t = self.tasks.borrow_mut();
+                        if *t == 0 {
+                            false
+                        } else {
+                            *t -= 1;
+                            true
+                        }
+                    };
+                    self.stage = if more { 2 } else { 4 };
+                    Action::Compute(30)
+                }
+                2 => {
+                    self.stage = 3;
+                    Action::Release { lock: self.queue_lock, mode: Mode::Write }
+                }
+                3 => {
+                    self.stage = 0;
+                    // The factorization task itself: compute-dominant.
+                    Action::Compute(self.task_compute)
+                }
+                4 => {
+                    self.stage = 5;
+                    Action::Release { lock: self.queue_lock, mode: Mode::Write }
+                }
+                _ => Action::Done,
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "cholesky"
+    }
+}
+
+/// One radiosity-like thread: a private task queue accessed under its own
+/// lock, stealing from a victim only when (rarely) out of local work.
+#[derive(Debug)]
+pub struct RadiosityThread {
+    /// Every thread's queue lock (index = thread).
+    queue_locks: Rc<Vec<Addr>>,
+    me: usize,
+    iterations: u32,
+    /// Percent of iterations that steal from another queue.
+    steal_pct: u32,
+    done: u32,
+    stage: u8,
+    cur_lock: Addr,
+}
+
+impl RadiosityThread {
+    /// Creates the `me`-th worker.
+    pub fn new(queue_locks: Rc<Vec<Addr>>, me: usize, iterations: u32, steal_pct: u32) -> Self {
+        RadiosityThread {
+            queue_locks,
+            me,
+            iterations,
+            steal_pct,
+            done: 0,
+            stage: 0,
+            cur_lock: Addr(0),
+        }
+    }
+}
+
+impl Program for RadiosityThread {
+    fn resume(&mut self, ctx: &mut Ctx<'_>, _outcome: Outcome) -> Action {
+        {
+            match self.stage {
+                0 => {
+                    if self.done == self.iterations {
+                        return Action::Done;
+                    }
+                    let steal = ctx.rng.below(100) < u64::from(self.steal_pct);
+                    let victim = if steal {
+                        let n = self.queue_locks.len() as u64;
+                        ctx.rng.below(n) as usize
+                    } else {
+                        self.me
+                    };
+                    self.cur_lock = self.queue_locks[victim];
+                    self.stage = 1;
+                    Action::Acquire { lock: self.cur_lock, mode: Mode::Write, try_for: None }
+                }
+                1 => {
+                    self.stage = 2;
+                    // Enqueue/dequeue a task descriptor.
+                    Action::Compute(40)
+                }
+                2 => {
+                    self.stage = 3;
+                    Action::Release { lock: self.cur_lock, mode: Mode::Write }
+                }
+                3 => {
+                    self.done += 1;
+                    self.stage = 0;
+                    // Process the task (ray/visibility computation).
+                    Action::Compute(400)
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "radiosity"
+    }
+}

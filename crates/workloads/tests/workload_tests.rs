@@ -1,0 +1,137 @@
+//! Tests of the workload programs: iteration accounting, locking patterns,
+//! and cross-backend behaviour.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use locksim_core::LcuBackend;
+use locksim_machine::{MachineConfig, World};
+use locksim_swlocks::{SwAlg, SwLockBackend};
+use locksim_workloads::{
+    CholeskyThread, CsThread, FluidConfig, FluidGrid, FluidThread, IterPool, RadiosityThread,
+};
+
+#[test]
+fn iter_pool_distributes_exactly_total() {
+    let mut w = World::new(MachineConfig::model_a(8), Box::new(LcuBackend::new()), 1);
+    let lock = w.mach().alloc().alloc_line();
+    let data = w.mach().alloc().alloc_line();
+    let pool = IterPool::new(500);
+    for _ in 0..8 {
+        w.spawn(Box::new(CsThread::new(lock, data, pool.clone(), 100)));
+    }
+    w.run_to_completion();
+    assert_eq!(w.report_counters().get("locks_granted"), 500);
+}
+
+#[test]
+fn cs_thread_write_pct_zero_is_all_readers() {
+    let mut w = World::new(MachineConfig::model_a(8), Box::new(LcuBackend::new()), 2);
+    let lock = w.mach().alloc().alloc_line();
+    let data = w.mach().alloc().alloc_line();
+    let pool = IterPool::new(200);
+    for _ in 0..8 {
+        w.spawn(Box::new(CsThread::new(lock, data, pool.clone(), 0)));
+    }
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert_eq!(c.get("locks_granted"), 200);
+    // Pure readers never need the writer-handoff path.
+    assert_eq!(c.get("lcu_writer_handoffs"), 0);
+}
+
+#[test]
+fn fluid_grid_coarse_has_one_lock_per_cell() {
+    let mut w = World::new(MachineConfig::model_a(4), Box::new(LcuBackend::new()), 3);
+    let cfg = FluidConfig::default();
+    let coarse = {
+        let alloc = w.mach().alloc();
+        FluidGrid::new(alloc, 4, &cfg, false)
+    };
+    let fine = {
+        let alloc = w.mach().alloc();
+        FluidGrid::new(alloc, 4, &cfg, true)
+    };
+    drop(coarse);
+    drop(fine);
+    // The grids allocate; real behavioural assertions below run the threads.
+    for t in 0..4 {
+        let grid = {
+            let alloc = w.mach().alloc();
+            FluidGrid::new(alloc, 4, &cfg, true)
+        };
+        let _ = FluidThread::new(grid, cfg.clone(), t);
+    }
+}
+
+#[test]
+fn fluid_kernel_completes_on_both_granularities() {
+    for fine in [false, true] {
+        let backend: Box<dyn locksim_machine::LockBackend> = if fine {
+            Box::new(LcuBackend::new())
+        } else {
+            Box::new(SwLockBackend::new(SwAlg::Posix))
+        };
+        let mut w = World::new(MachineConfig::model_a(8), backend, 4);
+        let cfg = FluidConfig { updates: 50, ..FluidConfig::default() };
+        let grid = {
+            let alloc = w.mach().alloc();
+            FluidGrid::new(alloc, 8, &cfg, fine)
+        };
+        for t in 0..8 {
+            w.spawn(Box::new(FluidThread::new(grid.clone(), cfg.clone(), t)));
+        }
+        w.run_to_completion();
+        assert_eq!(w.report_counters().get("locks_granted"), 8 * 50);
+    }
+}
+
+#[test]
+fn cholesky_consumes_every_task_once() {
+    let mut w = World::new(MachineConfig::model_a(8), Box::new(LcuBackend::new()), 5);
+    let lock = w.mach().alloc().alloc_line();
+    let tasks = Rc::new(RefCell::new(100u64));
+    for _ in 0..8 {
+        w.spawn(Box::new(CholeskyThread::new(lock, tasks.clone(), 5_000)));
+    }
+    w.run_to_completion();
+    assert_eq!(*tasks.borrow(), 0, "all tasks consumed");
+    // Each worker locks once per dequeue attempt; 100 successes plus one
+    // final failed attempt each.
+    assert_eq!(w.report_counters().get("locks_granted"), 100 + 8);
+    // Compute dominates: 100 tasks × 5000 cycles over 8 cores ≥ 62 500.
+    assert!(w.mach().now().cycles() >= 62_500);
+}
+
+#[test]
+fn radiosity_mostly_hits_own_queue() {
+    let mut w = World::new(MachineConfig::model_a(8), Box::new(SwLockBackend::new(SwAlg::Tatas)), 6);
+    let locks: Rc<Vec<_>> = Rc::new((0..8).map(|_| w.mach().alloc().alloc_line()).collect());
+    for t in 0..8 {
+        w.spawn(Box::new(RadiosityThread::new(locks.clone(), t, 100, 3)));
+    }
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert_eq!(c.get("locks_granted"), 800);
+    // Implicit biasing: with ~3% steals, almost every acquire is an
+    // uncontended local re-acquire, so cache hit rates stay high and
+    // contention events stay rare.
+    assert!(c.get("sw_tatas_races") < 40, "{c:?}");
+}
+
+#[test]
+fn radiosity_same_seed_reproduces() {
+    let run = |seed| {
+        let mut w = World::new(MachineConfig::model_a(8), Box::new(LcuBackend::new()), seed);
+        let locks: Rc<Vec<_>> = Rc::new((0..8).map(|_| w.mach().alloc().alloc_line()).collect());
+        for t in 0..8 {
+            w.spawn(Box::new(RadiosityThread::new(locks.clone(), t, 50, 10)));
+        }
+        w.run_to_completion();
+        w.mach().now().cycles()
+    };
+    assert_eq!(run(1), run(1));
+    // Note: different seeds may legitimately coincide in total cycles on
+    // the uniform Model A (every steal victim is equidistant), so only
+    // same-seed reproducibility is asserted.
+}
