@@ -17,8 +17,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use locksim_bench::lcu_microbench_cycles;
 use locksim_core::LcuBackend;
-use locksim_machine::{Action, MachineConfig, Mode, World};
 use locksim_machine::testing::ScriptProgram;
+use locksim_machine::{Action, MachineConfig, Mode, World};
 
 const ITERS: u64 = 2_000;
 
@@ -105,11 +105,18 @@ fn bench_lcu_entries(c: &mut Criterion) {
                         let mut script = Vec::new();
                         for _ in 0..20 {
                             for &l in &locks {
-                                script.push(Action::Acquire { lock: l, mode: Mode::Read, try_for: None });
+                                script.push(Action::Acquire {
+                                    lock: l,
+                                    mode: Mode::Read,
+                                    try_for: None,
+                                });
                             }
                             script.push(Action::Compute(500));
                             for &l in &locks {
-                                script.push(Action::Release { lock: l, mode: Mode::Read });
+                                script.push(Action::Release {
+                                    lock: l,
+                                    mode: Mode::Read,
+                                });
                             }
                         }
                         w.spawn(Box::new(ScriptProgram::new(script)));
@@ -160,12 +167,19 @@ fn bench_flt(c: &mut Criterion) {
                     cfg.flt_entries = entries;
                     let mut w = World::new(cfg, Box::new(LcuBackend::new()), 42);
                     let locks: Vec<_> = (0..8).map(|_| w.mach().alloc().alloc_line()).collect();
-                    for t in 0..8usize {
+                    for &lock in locks.iter().take(8) {
                         let mut script = Vec::new();
                         for _ in 0..100 {
-                            script.push(Action::Acquire { lock: locks[t], mode: Mode::Write, try_for: None });
+                            script.push(Action::Acquire {
+                                lock,
+                                mode: Mode::Write,
+                                try_for: None,
+                            });
                             script.push(Action::Compute(40));
-                            script.push(Action::Release { lock: locks[t], mode: Mode::Write });
+                            script.push(Action::Release {
+                                lock,
+                                mode: Mode::Write,
+                            });
                         }
                         w.spawn(Box::new(ScriptProgram::new(script)));
                     }

@@ -26,10 +26,32 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| run_microbench(ModelSel::A, BackendKind::Sw(SwAlg::Mcs), 40, 100, 500, 42))
     });
     g.bench_function("fig11_cell_stm_rb", |b| {
-        b.iter(|| run_stm(ModelSel::A, StmVariant::Lcu, StructSel::Rb, 256, 16, 10, 75, 42))
+        b.iter(|| {
+            run_stm(
+                ModelSel::A,
+                StmVariant::Lcu,
+                StructSel::Rb,
+                256,
+                16,
+                10,
+                75,
+                42,
+            )
+        })
     });
     g.bench_function("fig12_cell_stm_hash", |b| {
-        b.iter(|| run_stm(ModelSel::A, StmVariant::SwOnly, StructSel::Hash, 1 << 12, 16, 10, 75, 42))
+        b.iter(|| {
+            run_stm(
+                ModelSel::A,
+                StmVariant::SwOnly,
+                StructSel::Hash,
+                1 << 12,
+                16,
+                10,
+                75,
+                42,
+            )
+        })
     });
     g.bench_function("fig13_cell_radiosity", |b| {
         b.iter(|| run_app(AppSel::Radiosity, BackendKind::Lcu, 42))

@@ -17,7 +17,12 @@ use locksim_workloads::{CsThread, IterPool};
 
 /// Runs the single-lock microbenchmark on a custom LCU configuration and
 /// returns total simulated cycles.
-pub fn lcu_microbench_cycles(cfg: MachineConfig, threads: usize, write_pct: u32, iters: u64) -> u64 {
+pub fn lcu_microbench_cycles(
+    cfg: MachineConfig,
+    threads: usize,
+    write_pct: u32,
+    iters: u64,
+) -> u64 {
     let mut w = World::new(cfg, Box::new(LcuBackend::new()), 42);
     let lock = w.mach().alloc().alloc_line();
     let data = w.mach().alloc().alloc_line();

@@ -148,7 +148,11 @@ impl CacheCtrl {
                     entry.poisoned = false;
                     entry.state = CacheState::I;
                 } else {
-                    entry.state = if exclusive { CacheState::E } else { CacheState::S };
+                    entry.state = if exclusive {
+                        CacheState::E
+                    } else {
+                        CacheState::S
+                    };
                 }
                 vec![CacheAction::CpuDone]
             }
@@ -243,7 +247,10 @@ mod tests {
     #[test]
     fn cold_store_misses_with_getm() {
         let mut c = cache();
-        assert_eq!(c.cpu_op(L, CpuOp::Store), CacheOpResult::Miss(ReqKind::GetM));
+        assert_eq!(
+            c.cpu_op(L, CpuOp::Store),
+            CacheOpResult::Miss(ReqKind::GetM)
+        );
     }
 
     #[test]
@@ -310,7 +317,10 @@ mod tests {
         c.cpu_op(L, CpuOp::Load);
         c.handle(L, DirToCache::DataS { exclusive: false });
         let acts = c.handle(L, DirToCache::Inv);
-        assert_eq!(acts[0], CacheAction::Send(CacheToDir::InvAck { dirty: false }));
+        assert_eq!(
+            acts[0],
+            CacheAction::Send(CacheToDir::InvAck { dirty: false })
+        );
     }
 
     #[test]
@@ -335,7 +345,10 @@ mod tests {
         c.cpu_op(L, CpuOp::Load);
         c.handle(L, DirToCache::DataS { exclusive: false });
         // Upgrade queued at the directory...
-        assert_eq!(c.cpu_op(L, CpuOp::Store), CacheOpResult::Miss(ReqKind::GetM));
+        assert_eq!(
+            c.cpu_op(L, CpuOp::Store),
+            CacheOpResult::Miss(ReqKind::GetM)
+        );
         // ...but a competing writer wins first.
         c.handle(L, DirToCache::Inv);
         assert_eq!(c.state(L), CacheState::I);
@@ -350,7 +363,10 @@ mod tests {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Rmw);
         // The Inv for the *next* transaction overtakes our DataM.
-        assert!(c.handle(L, DirToCache::Inv).is_empty(), "ack must wait for data");
+        assert!(
+            c.handle(L, DirToCache::Inv).is_empty(),
+            "ack must wait for data"
+        );
         let acts = c.handle(L, DirToCache::DataM);
         assert_eq!(
             acts,
@@ -386,7 +402,10 @@ mod tests {
         // Load misses; before the DataS arrives, a writer's Inv passes it.
         c.cpu_op(L, CpuOp::Load);
         let acts = c.handle(L, DirToCache::Inv);
-        assert_eq!(acts[0], CacheAction::Send(CacheToDir::InvAck { dirty: false }));
+        assert_eq!(
+            acts[0],
+            CacheAction::Send(CacheToDir::InvAck { dirty: false })
+        );
         // The late data completes the load but is not cached.
         let acts = c.handle(L, DirToCache::DataS { exclusive: false });
         assert_eq!(acts, vec![CacheAction::CpuDone]);
@@ -406,7 +425,10 @@ mod tests {
         let mut c = cache();
         let l2 = LineAddr(0x200);
         c.cpu_op(L, CpuOp::Load);
-        assert_eq!(c.cpu_op(l2, CpuOp::Store), CacheOpResult::Miss(ReqKind::GetM));
+        assert_eq!(
+            c.cpu_op(l2, CpuOp::Store),
+            CacheOpResult::Miss(ReqKind::GetM)
+        );
         c.handle(l2, DirToCache::DataM);
         assert_eq!(c.state(l2), CacheState::M);
         assert_eq!(c.state(L), CacheState::I);

@@ -318,7 +318,15 @@ mod tests {
         let mut d = dir();
         d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
         let out = d.handle(L, C1, CacheToDir::Req(ReqKind::GetS));
-        assert_eq!(out, vec![DirAction { to: C0, msg: DirToCache::Downgrade, carries_data: false, dram: false }]);
+        assert_eq!(
+            out,
+            vec![DirAction {
+                to: C0,
+                msg: DirToCache::Downgrade,
+                carries_data: false,
+                dram: false
+            }]
+        );
         // Owner acks with dirty data: requestor gets it without DRAM.
         let out = d.handle(L, C0, CacheToDir::DowngradeAck { dirty: true });
         assert_eq!(out.len(), 1);
@@ -343,7 +351,9 @@ mod tests {
         assert_eq!(targets, vec![C1, C2]);
         assert!(out.iter().all(|a| a.msg == DirToCache::Inv));
         // First ack: nothing yet.
-        assert!(d.handle(L, C1, CacheToDir::InvAck { dirty: false }).is_empty());
+        assert!(d
+            .handle(L, C1, CacheToDir::InvAck { dirty: false })
+            .is_empty());
         // Second ack: upgrade grant without data (requestor held a copy).
         let out = d.handle(L, C2, CacheToDir::InvAck { dirty: false });
         assert_eq!(out.len(), 1);

@@ -205,7 +205,15 @@ fn concurrent_writers_all_complete() {
 fn mixed_concurrent_traffic_completes() {
     let mut l = Loop::new(4);
     for c in 0..4 {
-        l.issue(c, LineAddr(6), if c % 2 == 0 { CpuOp::Load } else { CpuOp::Store });
+        l.issue(
+            c,
+            LineAddr(6),
+            if c % 2 == 0 {
+                CpuOp::Load
+            } else {
+                CpuOp::Store
+            },
+        );
         l.issue(c, LineAddr(7), CpuOp::Rmw);
     }
     l.drain();
@@ -262,20 +270,80 @@ proptest! {
         }
     }
 }
-// appended temporarily to loop_tests.rs
+/// Regression: a specific interleaving of 6 caches over 4 lines (found by
+/// the property test above) once left an op outstanding after drain. The
+/// fourth tuple element is how many single messages to deliver between
+/// issues, reproducing the original partial-drain interleaving.
 #[test]
-fn debug_regression() {
-    let ops: Vec<(usize, u64, usize, usize)> = vec![(0, 1, 0, 0), (0, 0, 0, 0), (0, 0, 2, 1), (3, 2, 1, 1), (1, 0, 2, 1), (0, 0, 2, 1), (4, 2, 2, 3), (5, 0, 2, 0), (0, 3, 1, 0), (0, 2, 1, 2), (3, 3, 1, 3), (2, 1, 1, 0), (3, 2, 1, 3), (5, 1, 0, 0), (3, 3, 1, 3), (3, 0, 1, 3), (1, 1, 2, 0), (3, 0, 0, 2), (2, 1, 1, 3), (2, 0, 2, 2), (5, 1, 2, 3), (4, 2, 1, 1), (0, 2, 2, 3), (5, 0, 0, 3), (1, 1, 2, 2), (0, 1, 2, 2), (2, 3, 0, 0), (5, 0, 0, 2), (3, 3, 2, 2), (0, 1, 0, 3), (3, 2, 2, 2), (0, 2, 1, 3), (4, 3, 1, 1), (3, 0, 0, 3), (2, 0, 0, 2), (4, 0, 2, 3), (5, 3, 2, 0), (1, 1, 1, 3), (3, 0, 0, 0), (3, 2, 0, 2), (5, 0, 1, 0), (5, 1, 0, 2), (5, 1, 0, 2), (0, 1, 0, 3), (4, 0, 2, 3), (0, 2, 0, 3), (0, 1, 2, 1), (0, 1, 1, 3), (4, 2, 0, 3), (2, 1, 1, 1), (4, 1, 0, 2), (3, 1, 0, 0), (2, 2, 0, 2), (1, 2, 0, 1)];
+fn partial_drain_interleaving_completes() {
+    let ops: Vec<(usize, u64, usize, usize)> = vec![
+        (0, 1, 0, 0),
+        (0, 0, 0, 0),
+        (0, 0, 2, 1),
+        (3, 2, 1, 1),
+        (1, 0, 2, 1),
+        (0, 0, 2, 1),
+        (4, 2, 2, 3),
+        (5, 0, 2, 0),
+        (0, 3, 1, 0),
+        (0, 2, 1, 2),
+        (3, 3, 1, 3),
+        (2, 1, 1, 0),
+        (3, 2, 1, 3),
+        (5, 1, 0, 0),
+        (3, 3, 1, 3),
+        (3, 0, 1, 3),
+        (1, 1, 2, 0),
+        (3, 0, 0, 2),
+        (2, 1, 1, 3),
+        (2, 0, 2, 2),
+        (5, 1, 2, 3),
+        (4, 2, 1, 1),
+        (0, 2, 2, 3),
+        (5, 0, 0, 3),
+        (1, 1, 2, 2),
+        (0, 1, 2, 2),
+        (2, 3, 0, 0),
+        (5, 0, 0, 2),
+        (3, 3, 2, 2),
+        (0, 1, 0, 3),
+        (3, 2, 2, 2),
+        (0, 2, 1, 3),
+        (4, 3, 1, 1),
+        (3, 0, 0, 3),
+        (2, 0, 0, 2),
+        (4, 0, 2, 3),
+        (5, 3, 2, 0),
+        (1, 1, 1, 3),
+        (3, 0, 0, 0),
+        (3, 2, 0, 2),
+        (5, 0, 1, 0),
+        (5, 1, 0, 2),
+        (5, 1, 0, 2),
+        (0, 1, 0, 3),
+        (4, 0, 2, 3),
+        (0, 2, 0, 3),
+        (0, 1, 2, 1),
+        (0, 1, 1, 3),
+        (4, 2, 0, 3),
+        (2, 1, 1, 1),
+        (4, 1, 0, 2),
+        (3, 1, 0, 0),
+        (2, 2, 0, 2),
+        (1, 2, 0, 1),
+    ];
     let mut l = Loop::new(6);
-    for (cache, line, op, drain_mod) in ops {
-        let op = match op { 0 => CpuOp::Load, 1 => CpuOp::Store, _ => CpuOp::Rmw };
+    for (cache, line, op, deliveries) in ops {
+        let op = match op {
+            0 => CpuOp::Load,
+            1 => CpuOp::Store,
+            _ => CpuOp::Rmw,
+        };
         l.issue(cache, LineAddr(line), op);
-        for _ in 0..drain_mod { l.deliver_one(); }
+        for _ in 0..deliveries {
+            l.deliver_one();
+        }
     }
     l.drain();
-    eprintln!("outstanding: {:?}", l.outstanding);
-    for (c, line, op) in &l.outstanding {
-        eprintln!("cache {} line {:?} op {:?} cache_state {:?} dir_holders {}", c, line, op, l.caches[*c].state(*line), l.dir.holders(*line));
-    }
-    assert!(l.outstanding.is_empty());
+    assert!(l.outstanding.is_empty(), "ops stuck: {:?}", l.outstanding);
 }

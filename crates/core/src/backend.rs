@@ -3,17 +3,17 @@
 //! event loop.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use locksim_engine::stats::Counters;
 use locksim_engine::Cycles;
 use locksim_machine::{Addr, CoreId, Ep, LockBackend, Mach, Mode, ThreadId};
 use locksim_topo::MsgClass;
 
-use locksim_machine::Checker;
 use crate::entry::{EntryKind, Lcu, Status};
 use crate::lrt::{Lrt, Residency};
 use crate::msg::{Msg, Node};
+use locksim_machine::Checker;
 
 /// A thread's outstanding acquire request.
 #[derive(Debug, Clone, Copy)]
@@ -43,14 +43,29 @@ enum TimerKind {
     /// A trylock budget expired.
     TryExpire(ThreadId),
     /// A received grant was not taken within the threshold (§III-C).
-    GrantTimeout { lcu: usize, addr: Addr, tid: ThreadId },
+    GrantTimeout {
+        lcu: usize,
+        addr: Addr,
+        tid: ThreadId,
+    },
     /// Software retry of an acquire (LCU exhaustion / nonblocking retry).
     RetryAcquire(ThreadId),
     /// A release could not allocate an LCU entry; retry the protocol part
     /// (the thread itself has already moved on).
-    RetryRelease { tid: ThreadId, addr: Addr, mode: Mode, core: usize, cnt: u64 },
+    RetryRelease {
+        tid: ThreadId,
+        addr: Addr,
+        mode: Mode,
+        core: usize,
+        cnt: u64,
+    },
     /// A forwarded request found a full LCU; redeliver it shortly.
-    RedeliverFwd { at: usize, addr: Addr, tail_tid: ThreadId, req: Node },
+    RedeliverFwd {
+        at: usize,
+        addr: Addr,
+        tail_tid: ThreadId,
+        req: Node,
+    },
 }
 
 /// The Lock Control Unit backend: the paper's contribution.
@@ -65,7 +80,9 @@ pub struct LcuBackend {
     /// Free Lock Table per core: locks released by a local thread but not
     /// yet requested by anyone else, parked so a repeat acquire is a local
     /// hit (paper §IV-C). Maps lock → (owner-of-record, transfer count).
-    flts: Vec<HashMap<Addr, (ThreadId, u64)>>,
+    /// Ordered so eviction picks a deterministic victim — a `HashMap` here
+    /// made same-seed runs diverge across processes.
+    flts: Vec<BTreeMap<Addr, (ThreadId, u64)>>,
     reqs: HashMap<ThreadId, Req>,
     held: HashMap<(ThreadId, Addr), Held>,
     timers: HashMap<u64, TimerKind>,
@@ -102,11 +119,13 @@ impl LcuBackend {
     fn ensure_init(&mut self, m: &Mach) {
         if !self.initialized {
             let cfg = m.cfg();
-            self.lcus = (0..m.n_cores()).map(|_| Lcu::new(cfg.lcu_entries)).collect();
+            self.lcus = (0..m.n_cores())
+                .map(|_| Lcu::new(cfg.lcu_entries))
+                .collect();
             self.lrts = (0..m.n_mems())
                 .map(|_| Lrt::new(cfg.lrt_entries, cfg.lrt_assoc))
                 .collect();
-            self.flts = (0..m.n_cores()).map(|_| HashMap::new()).collect();
+            self.flts = (0..m.n_cores()).map(|_| BTreeMap::new()).collect();
             self.initialized = true;
         }
     }
@@ -119,18 +138,37 @@ impl LcuBackend {
     }
 
     /// Sends a protocol message from an LCU to the home LRT.
-    fn to_lrt(&mut self, m: &mut Mach, from_core: usize, msg: Msg) {
+    fn send_to_lrt(&mut self, m: &mut Mach, from_core: usize, msg: Msg) {
         let home = m.home_of(msg.addr());
         let extra = m.cfg().lcu_latency;
-        m.send_wire(Ep::Core(from_core), Ep::Mem(home), MsgClass::Control, extra, Box::new(msg));
+        m.send_wire(
+            Ep::Core(from_core),
+            Ep::Mem(home),
+            MsgClass::Control,
+            extra,
+            Box::new(msg),
+        );
     }
 
     /// Sends a protocol message from an LRT to an LCU; `penalty` carries
     /// extra processing latency (overflow-table access).
-    fn lrt_to_lcu(&mut self, m: &mut Mach, from_mem: usize, to_core: usize, penalty: Cycles, msg: Msg) {
+    fn lrt_to_lcu(
+        &mut self,
+        m: &mut Mach,
+        from_mem: usize,
+        to_core: usize,
+        penalty: Cycles,
+        msg: Msg,
+    ) {
         let extra = m.cfg().lrt_latency + penalty;
         let wrapped = ToLcu { core: to_core, msg };
-        m.send_wire(Ep::Mem(from_mem), Ep::Core(to_core), MsgClass::Control, extra, Box::new(wrapped));
+        m.send_wire(
+            Ep::Mem(from_mem),
+            Ep::Core(to_core),
+            MsgClass::Control,
+            extra,
+            Box::new(wrapped),
+        );
     }
 
     /// Direct LCU→LCU transfer.
@@ -141,10 +179,22 @@ impl LcuBackend {
             // Same-core transfer (two threads sharing a core): model as a
             // local LCU operation.
             let home = m.home_of(wrapped.msg.addr());
-            m.send_wire(Ep::Core(from), Ep::Mem(home), MsgClass::Control, 0, Box::new(LoopBack(wrapped)));
+            m.send_wire(
+                Ep::Core(from),
+                Ep::Mem(home),
+                MsgClass::Control,
+                0,
+                Box::new(LoopBack(wrapped)),
+            );
             return;
         }
-        m.send_wire(Ep::Core(from), Ep::Core(to), MsgClass::Control, extra, Box::new(wrapped));
+        m.send_wire(
+            Ep::Core(from),
+            Ep::Core(to),
+            MsgClass::Control,
+            extra,
+            Box::new(wrapped),
+        );
     }
 
     /// Allocates an entry for queue maintenance (release re-allocation or
@@ -152,13 +202,7 @@ impl LcuBackend {
     /// then the remote-request nonblocking entry (§III-D), which exists so
     /// remote-service operations make progress when ordinary entries are
     /// exhausted.
-    fn alloc_service_entry(
-        &mut self,
-        core: usize,
-        addr: Addr,
-        tid: ThreadId,
-        mode: Mode,
-    ) -> bool {
+    fn alloc_service_entry(&mut self, core: usize, addr: Addr, tid: ThreadId, mode: Mode) -> bool {
         if self.lcus[core]
             .alloc(addr, tid, mode, EntryKind::Ordinary)
             .is_some()
@@ -175,7 +219,9 @@ impl LcuBackend {
     // ----------------------------------------------------------------
 
     fn try_start_request(&mut self, m: &mut Mach, t: ThreadId) {
-        let Some(req) = self.reqs.get(&t).copied() else { return };
+        let Some(req) = self.reqs.get(&t).copied() else {
+            return;
+        };
         let Some(core) = m.core_of(t) else {
             // Thread got preempted before we could issue; re-issued on
             // reschedule via `on_thread_scheduled`.
@@ -194,13 +240,12 @@ impl LcuBackend {
             match e.status {
                 // Fast local re-acquire of a released read entry (§III-B).
                 Status::RdRel
-                    if mode == Mode::Read
-                        && e.mode == Mode::Read
-                        && m.cfg().lcu_fast_reacquire =>
+                    if mode == Mode::Read && e.mode == Mode::Read && m.cfg().lcu_fast_reacquire =>
                 {
                     e.status = Status::Acq;
                     let cnt = e.cnt;
                     self.counters.incr("lcu_fast_reacquires");
+                    m.trace_entry_state(Ep::Core(core), addr, "Acq");
                     self.finish_grant(m, t, addr, mode, false, cnt);
                     return;
                 }
@@ -223,9 +268,16 @@ impl LcuBackend {
             Some(e) => {
                 e.status = Status::Issued;
                 let nonblocking = e.kind != EntryKind::Ordinary;
-                let node = Node { tid: t, lcu: core, mode, nonblocking, no_ovf: true };
+                let node = Node {
+                    tid: t,
+                    lcu: core,
+                    mode,
+                    nonblocking,
+                    no_ovf: true,
+                };
                 self.counters.incr("lcu_requests");
-                self.to_lrt(m, core, Msg::Request { addr, req: node });
+                m.trace_entry_state(Ep::Core(core), addr, "Issued");
+                self.send_to_lrt(m, core, Msg::Request { addr, req: node });
             }
             None => {
                 // No entry of any kind: software spin, retry later (§III-D
@@ -238,10 +290,25 @@ impl LcuBackend {
     }
 
     /// Completes a grant to the local thread: bookkeeping + machine grant.
-    fn finish_grant(&mut self, m: &mut Mach, t: ThreadId, addr: Addr, mode: Mode, overflow: bool, cnt: u64) {
+    fn finish_grant(
+        &mut self,
+        m: &mut Mach,
+        t: ThreadId,
+        addr: Addr,
+        mode: Mode,
+        overflow: bool,
+        cnt: u64,
+    ) {
         self.reqs.remove(&t);
-        self.held.insert((t, addr), Held { mode, overflow, cnt });
-        self.checker.on_grant(addr, t, mode);
+        self.held.insert(
+            (t, addr),
+            Held {
+                mode,
+                overflow,
+                cnt,
+            },
+        );
+        self.checker.on_grant_traced(addr, t, mode, m.tracer());
         m.grant_lock_in(t, m.cfg().lcu_latency);
     }
 
@@ -249,7 +316,9 @@ impl LcuBackend {
     /// thread is present and still wants it, otherwise handle timeout /
     /// abort / migration per §III-C.
     fn try_take(&mut self, m: &mut Mach, lcu: usize, addr: Addr, tid: ThreadId) {
-        let Some(e) = self.lcus[lcu].get_mut(addr, tid) else { return };
+        let Some(e) = self.lcus[lcu].get_mut(addr, tid) else {
+            return;
+        };
         if e.status != Status::Rcv {
             return;
         }
@@ -262,6 +331,7 @@ impl LcuBackend {
                 let cnt = e.cnt;
                 let mode = e.mode;
                 let uncontended = e.head && e.next.is_none();
+                m.trace_entry_state(Ep::Core(lcu), addr, "Acq");
                 if uncontended {
                     // Entry removed to leave room (§III-A case (a)); the LRT
                     // still records us as owner.
@@ -290,7 +360,9 @@ impl LcuBackend {
     /// to the LRT / parks it as stale.
     fn pass_through(&mut self, m: &mut Mach, lcu: usize, addr: Addr, tid: ThreadId) {
         let (head, cnt, mode, next) = {
-            let Some(e) = self.lcus[lcu].get_mut(addr, tid) else { return };
+            let Some(e) = self.lcus[lcu].get_mut(addr, tid) else {
+                return;
+            };
             if e.status != Status::Rcv {
                 return;
             }
@@ -302,11 +374,12 @@ impl LcuBackend {
             (e.head, e.cnt, e.mode, e.next)
         };
         self.counters.incr("lcu_pass_throughs");
+        m.trace_entry_state(Ep::Core(lcu), addr, if head { "Rel" } else { "RdRel" });
         match next {
             Some(n) => {
                 if mode == Mode::Write && head {
                     // An aborted writer relinquishes its waiting-writer slot.
-                    self.to_lrt(m, lcu, Msg::AbortNotify { addr });
+                    self.send_to_lrt(m, lcu, Msg::AbortNotify { addr });
                 }
                 if head {
                     self.send_head_token(m, lcu, tid, addr, cnt, n, mode == Mode::Read);
@@ -314,16 +387,28 @@ impl LcuBackend {
                     // Non-head read grant we do not want: behave as an
                     // instantly-released intermediate reader.
                     debug_assert_eq!(mode, Mode::Read);
-                    let g = Msg::DirectGrant { addr, tid: n.tid, head: false, cnt: 0, ack: None };
+                    let g = Msg::DirectGrant {
+                        addr,
+                        tid: n.tid,
+                        head: false,
+                        cnt: 0,
+                        ack: None,
+                    };
                     self.lcu_to_lcu(m, lcu, n.lcu, g);
                 }
             }
             None if head => {
                 if mode == Mode::Write {
-                    self.to_lrt(m, lcu, Msg::AbortNotify { addr });
+                    self.send_to_lrt(m, lcu, Msg::AbortNotify { addr });
                 }
-                let rel = Msg::ReleaseToLrt { addr, tid, lcu, mode, overflow: false };
-                self.to_lrt(m, lcu, rel);
+                let rel = Msg::ReleaseToLrt {
+                    addr,
+                    tid,
+                    lcu,
+                    mode,
+                    overflow: false,
+                };
+                self.send_to_lrt(m, lcu, rel);
             }
             None => {
                 // Non-head read grant, no next: parked as an instantly
@@ -341,13 +426,16 @@ impl LcuBackend {
     /// be in a holding state. Queue maintenance happens off the thread's
     /// critical path.
     fn release_entry(&mut self, m: &mut Mach, lcu: usize, addr: Addr, tid: ThreadId) {
-        let e = self.lcus[lcu].get_mut(addr, tid).expect("releasing unknown entry");
+        let e = self.lcus[lcu]
+            .get_mut(addr, tid)
+            .expect("releasing unknown entry");
         debug_assert!(matches!(e.status, Status::Acq | Status::Rcv));
         if e.mode == Mode::Read && !e.head {
             // Intermediate reader: silent release; wait for the head token
             // (§III-B). Locally re-acquirable meanwhile.
             e.status = Status::RdRel;
             self.counters.incr("lcu_rd_rel");
+            m.trace_entry_state(Ep::Core(lcu), addr, "RdRel");
             return;
         }
         self.release_head(m, lcu, addr, tid);
@@ -359,6 +447,7 @@ impl LcuBackend {
         let e = self.lcus[lcu].get_mut(addr, tid).expect("head entry");
         debug_assert!(e.head, "release_head on non-head");
         let cnt = e.cnt;
+        m.trace_entry_state(Ep::Core(lcu), addr, "Rel");
         match e.next {
             Some(n) => {
                 let from_read = e.mode == Mode::Read;
@@ -369,8 +458,14 @@ impl LcuBackend {
                 e.status = Status::Rel;
                 self.counters.incr("lcu_lrt_releases");
                 let mode = e.mode;
-                let rel = Msg::ReleaseToLrt { addr, tid, lcu, mode, overflow: false };
-                self.to_lrt(m, lcu, rel);
+                let rel = Msg::ReleaseToLrt {
+                    addr,
+                    tid,
+                    lcu,
+                    mode,
+                    overflow: false,
+                };
+                self.send_to_lrt(m, lcu, rel);
             }
         }
     }
@@ -381,6 +476,7 @@ impl LcuBackend {
     /// via-LRT ablation, is granted by the LRT once the reader count
     /// drains; everything else transfers directly LCU→LCU. The releasing
     /// entry must already be in `Rel` status; the LRT acknowledges it.
+    #[allow(clippy::too_many_arguments)] // protocol message fields travel together
     fn send_head_token(
         &mut self,
         m: &mut Mach,
@@ -394,11 +490,22 @@ impl LcuBackend {
         let gated = from_read_session && next.mode == Mode::Write && !next.no_ovf;
         if gated || !m.cfg().lcu_direct_transfer {
             self.counters.incr("lcu_writer_handoffs");
-            let msg = Msg::WriterHandoff { addr, writer: next, cnt: cnt + 1, releaser: (lcu, releaser) };
-            self.to_lrt(m, lcu, msg);
+            let msg = Msg::WriterHandoff {
+                addr,
+                writer: next,
+                cnt: cnt + 1,
+                releaser: (lcu, releaser),
+            };
+            self.send_to_lrt(m, lcu, msg);
         } else {
             self.counters.incr("lcu_direct_transfers");
-            let g = Msg::DirectGrant { addr, tid: next.tid, head: true, cnt: cnt + 1, ack: Some((lcu, releaser)) };
+            let g = Msg::DirectGrant {
+                addr,
+                tid: next.tid,
+                head: true,
+                cnt: cnt + 1,
+                ack: Some((lcu, releaser)),
+            };
             self.lcu_to_lcu(m, lcu, next.lcu, g);
         }
     }
@@ -407,21 +514,35 @@ impl LcuBackend {
     /// owner-of-record and releases through the LRT, exactly as an
     /// uncontended release would have.
     fn flt_unpark_release(&mut self, m: &mut Mach, core: usize, lock: Addr) {
-        let Some((tid, cnt)) = self.flts[core].remove(&lock) else { return };
+        let Some((tid, cnt)) = self.flts[core].remove(&lock) else {
+            return;
+        };
         self.counters.incr("flt_unparks");
         if self.alloc_service_entry(core, lock, tid, Mode::Write) {
             let e = self.lcus[core].get_mut(lock, tid).expect("just allocated");
             e.status = Status::Rel;
             e.head = true;
             e.cnt = cnt;
-            let rel = Msg::ReleaseToLrt { addr: lock, tid, lcu: core, mode: Mode::Write, overflow: false };
-            self.to_lrt(m, core, rel);
+            let rel = Msg::ReleaseToLrt {
+                addr: lock,
+                tid,
+                lcu: core,
+                mode: Mode::Write,
+                overflow: false,
+            };
+            self.send_to_lrt(m, core, rel);
         } else {
             let backoff = m.cfg().retry_backoff;
             self.arm(
                 m,
                 backoff,
-                TimerKind::RetryRelease { tid, addr: lock, mode: Mode::Write, core, cnt },
+                TimerKind::RetryRelease {
+                    tid,
+                    addr: lock,
+                    mode: Mode::Write,
+                    core,
+                    cnt,
+                },
             );
         }
     }
@@ -433,10 +554,19 @@ impl LcuBackend {
     fn lrt_handle(&mut self, m: &mut Mach, mem: usize, msg: Msg) {
         match msg {
             Msg::Request { addr, req } => self.lrt_request(m, mem, addr, req),
-            Msg::ReleaseToLrt { addr, tid, lcu, mode, overflow } => {
-                self.lrt_release(m, mem, addr, tid, lcu, mode, overflow)
-            }
-            Msg::HeadNotify { addr, node, cnt, ack } => {
+            Msg::ReleaseToLrt {
+                addr,
+                tid,
+                lcu,
+                mode,
+                overflow,
+            } => self.lrt_release(m, mem, addr, tid, lcu, mode, overflow),
+            Msg::HeadNotify {
+                addr,
+                node,
+                cnt,
+                ack,
+            } => {
                 let lrt = &mut self.lrts[mem];
                 if let Some((e, _)) = lrt.get_mut(addr) {
                     if cnt > e.cnt {
@@ -452,7 +582,12 @@ impl LcuBackend {
                     self.lrt_to_lcu(m, mem, alcu, 0, Msg::ReleaseAck { addr, tid: atid });
                 }
             }
-            Msg::WriterHandoff { addr, writer, cnt, releaser } => {
+            Msg::WriterHandoff {
+                addr,
+                writer,
+                cnt,
+                releaser,
+            } => {
                 let (e, res) = self.lrts[mem].entry_mut(addr);
                 e.cnt = e.cnt.max(cnt);
                 e.head = Some(writer);
@@ -463,11 +598,29 @@ impl LcuBackend {
                     e.pending_writer = None;
                     e.waiting_writers = e.waiting_writers.saturating_sub(1);
                 }
-                self.lrt_to_lcu(m, mem, releaser.0, penalty, Msg::ReleaseAck { addr, tid: releaser.1 });
+                self.lrt_to_lcu(
+                    m,
+                    mem,
+                    releaser.0,
+                    penalty,
+                    Msg::ReleaseAck {
+                        addr,
+                        tid: releaser.1,
+                    },
+                );
                 if fire {
                     self.counters.incr("lrt_writer_grants");
-                    let gcnt = self.lrts[mem].get_mut(addr).map(|(e, _)| e.cnt).unwrap_or(cnt);
-                    let g = Msg::LrtGrant { addr, tid: writer.tid, head: true, overflow: false, cnt: gcnt };
+                    let gcnt = self.lrts[mem]
+                        .get_mut(addr)
+                        .map(|(e, _)| e.cnt)
+                        .unwrap_or(cnt);
+                    let g = Msg::LrtGrant {
+                        addr,
+                        tid: writer.tid,
+                        head: true,
+                        overflow: false,
+                        cnt: gcnt,
+                    };
                     self.lrt_to_lcu(m, mem, writer.lcu, penalty, g);
                 }
             }
@@ -503,7 +656,13 @@ impl LcuBackend {
                     (Mode::Read, true) => {
                         e.reader_cnt += 1;
                         self.counters.incr("lrt_overflow_grants");
-                        let g = Msg::LrtGrant { addr, tid: req.tid, head: false, overflow: true, cnt: 0 };
+                        let g = Msg::LrtGrant {
+                            addr,
+                            tid: req.tid,
+                            head: false,
+                            overflow: true,
+                            cnt: 0,
+                        };
                         self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
                     }
                     (Mode::Read, false) => {
@@ -512,7 +671,13 @@ impl LcuBackend {
                         e.tail = Some(req);
                         e.cnt += 1;
                         let gcnt = e.cnt;
-                        let g = Msg::LrtGrant { addr, tid: req.tid, head: true, overflow: false, cnt: gcnt };
+                        let g = Msg::LrtGrant {
+                            addr,
+                            tid: req.tid,
+                            head: true,
+                            overflow: false,
+                            cnt: gcnt,
+                        };
                         self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
                     }
                     (Mode::Write, false) => {
@@ -522,6 +687,7 @@ impl LcuBackend {
                         e.waiting_writers += 1;
                         e.pending_writer = Some((req, e.cnt));
                         self.counters.incr("lrt_writer_gated");
+                        m.trace_entry_state(Ep::Mem(mem), addr, "LrtWriterGated");
                     }
                     (Mode::Write, true) => {
                         self.deny_nonblocking(m, mem, addr, req, penalty, reservation_timeout);
@@ -535,7 +701,14 @@ impl LcuBackend {
             e.cnt += 1;
             let gcnt = e.cnt;
             self.counters.incr("lrt_free_grants");
-            let g = Msg::LrtGrant { addr, tid: req.tid, head: true, overflow: false, cnt: gcnt };
+            m.trace_entry_state(Ep::Mem(mem), addr, "LrtHead");
+            let g = Msg::LrtGrant {
+                addr,
+                tid: req.tid,
+                head: true,
+                overflow: false,
+                cnt: gcnt,
+            };
             self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
             return;
         }
@@ -549,7 +722,13 @@ impl LcuBackend {
             if readable {
                 e.reader_cnt += 1;
                 self.counters.incr("lrt_overflow_grants");
-                let g = Msg::LrtGrant { addr, tid: req.tid, head: false, overflow: true, cnt: 0 };
+                let g = Msg::LrtGrant {
+                    addr,
+                    tid: req.tid,
+                    head: false,
+                    overflow: true,
+                    cnt: 0,
+                };
                 self.lrt_to_lcu(m, mem, req.lcu, penalty, g);
             } else {
                 self.deny_nonblocking(m, mem, addr, req, penalty, reservation_timeout);
@@ -567,11 +746,24 @@ impl LcuBackend {
             e.waiting_writers += 1;
         }
         self.counters.incr("lrt_forwards");
-        let fwd = Msg::FwdRequest { addr, tail_tid: old_tail.tid, req };
+        m.trace_entry_state(Ep::Mem(mem), addr, "LrtEnqueued");
+        let fwd = Msg::FwdRequest {
+            addr,
+            tail_tid: old_tail.tid,
+            req,
+        };
         self.lrt_to_lcu(m, mem, old_tail.lcu, penalty, fwd);
     }
 
-    fn deny_nonblocking(&mut self, m: &mut Mach, mem: usize, addr: Addr, req: Node, penalty: Cycles, window: Cycles) {
+    fn deny_nonblocking(
+        &mut self,
+        m: &mut Mach,
+        mem: usize,
+        addr: Addr,
+        req: Node,
+        penalty: Cycles,
+        window: Cycles,
+    ) {
         let now = m.now();
         let reservations_on = m.cfg().lcu_reservation;
         let (e, _) = self.lrts[mem].entry_mut(addr);
@@ -579,11 +771,13 @@ impl LcuBackend {
         if expired && reservations_on {
             e.reservation = Some((req.tid, req.lcu, now + window));
             self.counters.incr("lrt_reservations");
+            m.trace_entry_state(Ep::Mem(mem), addr, "LrtReserved");
         }
         self.counters.incr("lrt_retries");
         self.lrt_to_lcu(m, mem, req.lcu, penalty, Msg::Retry { addr, tid: req.tid });
     }
 
+    #[allow(clippy::too_many_arguments)] // protocol message fields travel together
     fn lrt_release(
         &mut self,
         m: &mut Mach,
@@ -607,7 +801,13 @@ impl LcuBackend {
                     e.cnt = e.cnt.max(wcnt);
                     let gcnt = e.cnt;
                     self.counters.incr("lrt_writer_grants");
-                    let g = Msg::LrtGrant { addr, tid: writer.tid, head: true, overflow: false, cnt: gcnt };
+                    let g = Msg::LrtGrant {
+                        addr,
+                        tid: writer.tid,
+                        head: true,
+                        overflow: false,
+                        cnt: gcnt,
+                    };
                     self.lrt_to_lcu(m, mem, writer.lcu, penalty, g);
                 }
             }
@@ -624,6 +824,7 @@ impl LcuBackend {
                 e.head = None;
                 e.tail = None;
                 self.counters.incr("lrt_frees");
+                m.trace_entry_state(Ep::Mem(mem), addr, "LrtFree");
                 self.lrt_to_lcu(m, mem, lcu, penalty, Msg::ReleaseAck { addr, tid });
                 self.lrts[mem].remove_if_dead(addr, now);
             } else {
@@ -649,7 +850,13 @@ impl LcuBackend {
 
     fn lcu_handle(&mut self, m: &mut Mach, at: usize, msg: Msg) {
         match msg {
-            Msg::LrtGrant { addr, tid, head, overflow, cnt } => {
+            Msg::LrtGrant {
+                addr,
+                tid,
+                head,
+                overflow,
+                cnt,
+            } => {
                 if overflow {
                     // Overflow-mode read grant: the nonblocking entry is
                     // freed; the thread holds without queue membership.
@@ -660,8 +867,14 @@ impl LcuBackend {
                     if self.reqs.get(&tid).map(|r| r.addr) != Some(addr) {
                         // Trylock expired while the grant was in flight:
                         // give it straight back.
-                        let rel = Msg::ReleaseToLrt { addr, tid, lcu: core, mode: Mode::Read, overflow: true };
-                        self.to_lrt(m, core, rel);
+                        let rel = Msg::ReleaseToLrt {
+                            addr,
+                            tid,
+                            lcu: core,
+                            mode: Mode::Read,
+                            overflow: true,
+                        };
+                        self.send_to_lrt(m, core, rel);
                         return;
                     }
                     self.counters.incr("lcu_overflow_takes");
@@ -682,7 +895,11 @@ impl LcuBackend {
                 // already points at us, so no acknowledgement is owed).
                 self.lcu_direct_grant(m, core, addr, tid, head, cnt, None);
             }
-            Msg::FwdRequest { addr, tail_tid, req } => self.lcu_fwd_request(m, at, addr, tail_tid, req),
+            Msg::FwdRequest {
+                addr,
+                tail_tid,
+                req,
+            } => self.lcu_fwd_request(m, at, addr, tail_tid, req),
             Msg::Retry { addr, tid } => {
                 // Either a nonblocking denial (entry Issued) or a release
                 // race (entry Rel).
@@ -716,13 +933,18 @@ impl LcuBackend {
                     self.counters.incr("lcu_entry_frees");
                 }
             }
-            Msg::DirectGrant { addr, tid, head, cnt, ack } => {
-                self.lcu_direct_grant(m, at, addr, tid, head, cnt, ack)
-            }
+            Msg::DirectGrant {
+                addr,
+                tid,
+                head,
+                cnt,
+                ack,
+            } => self.lcu_direct_grant(m, at, addr, tid, head, cnt, ack),
             Msg::Wait { addr, tid } => {
                 if let Some(e) = self.lcus[at].get_mut(addr, tid) {
                     if e.status == Status::Issued {
                         e.status = Status::Wait;
+                        m.trace_entry_state(Ep::Core(at), addr, "Wait");
                     }
                 }
             }
@@ -739,7 +961,14 @@ impl LcuBackend {
         self.lcus.iter().position(|l| l.get(addr, tid).is_some())
     }
 
-    fn lcu_fwd_request(&mut self, m: &mut Mach, at: usize, addr: Addr, tail_tid: ThreadId, req: Node) {
+    fn lcu_fwd_request(
+        &mut self,
+        m: &mut Mach,
+        at: usize,
+        addr: Addr,
+        tail_tid: ThreadId,
+        req: Node,
+    ) {
         // Locate the tail entry at the addressed LCU; if the owner took the
         // lock uncontended the entry was deallocated here and must be
         // re-allocated (§III-A case (b)).
@@ -757,15 +986,32 @@ impl LcuBackend {
                     // Table full: repark and NACK-redeliver.
                     self.flts[core].insert(addr, (owner, cnt));
                     let backoff = m.cfg().retry_backoff;
-                    self.arm(m, backoff, TimerKind::RedeliverFwd { at, addr, tail_tid, req });
+                    self.arm(
+                        m,
+                        backoff,
+                        TimerKind::RedeliverFwd {
+                            at,
+                            addr,
+                            tail_tid,
+                            req,
+                        },
+                    );
                     return;
                 }
-                let e = self.lcus[core].get_mut(addr, tail_tid).expect("just allocated");
+                let e = self.lcus[core]
+                    .get_mut(addr, tail_tid)
+                    .expect("just allocated");
                 e.status = Status::Rel;
                 e.head = true;
                 e.cnt = cnt;
                 e.next = Some(req);
-                let g = Msg::DirectGrant { addr, tid: req.tid, head: true, cnt: cnt + 1, ack: Some((core, tail_tid)) };
+                let g = Msg::DirectGrant {
+                    addr,
+                    tid: req.tid,
+                    head: true,
+                    cnt: cnt + 1,
+                    ack: Some((core, tail_tid)),
+                };
                 self.counters.incr("lcu_direct_transfers");
                 self.lcu_to_lcu(m, core, req.lcu, g);
                 return;
@@ -779,7 +1025,16 @@ impl LcuBackend {
                 // this message. Redeliver until that entry exists.
                 self.counters.incr("lcu_fwd_orphans");
                 let backoff = m.cfg().retry_backoff;
-                self.arm(m, backoff, TimerKind::RedeliverFwd { at, addr, tail_tid, req });
+                self.arm(
+                    m,
+                    backoff,
+                    TimerKind::RedeliverFwd {
+                        at,
+                        addr,
+                        tail_tid,
+                        req,
+                    },
+                );
                 return;
             };
             // Re-allocation creates a *queue node*, so only ordinary
@@ -793,10 +1048,21 @@ impl LcuBackend {
             {
                 self.counters.incr("lcu_fwd_noentry");
                 let backoff = m.cfg().retry_backoff;
-                self.arm(m, backoff, TimerKind::RedeliverFwd { at, addr, tail_tid, req });
+                self.arm(
+                    m,
+                    backoff,
+                    TimerKind::RedeliverFwd {
+                        at,
+                        addr,
+                        tail_tid,
+                        req,
+                    },
+                );
                 return;
             }
-            let e = self.lcus[core].get_mut(addr, tail_tid).expect("just allocated");
+            let e = self.lcus[core]
+                .get_mut(addr, tail_tid)
+                .expect("just allocated");
             e.status = Status::Acq;
             e.head = true;
             e.cnt = held.cnt;
@@ -816,7 +1082,13 @@ impl LcuBackend {
         if shared_read {
             // Concurrent reader: grant immediately (non-head).
             self.counters.incr("lcu_read_shares");
-            let g = Msg::DirectGrant { addr, tid: req.tid, head: false, cnt: 0, ack: None };
+            let g = Msg::DirectGrant {
+                addr,
+                tid: req.tid,
+                head: false,
+                cnt: 0,
+                ack: None,
+            };
             self.lcu_to_lcu(m, core, req.lcu, g);
         } else if releasing {
             // Release race resolution: transfer to the requestor (gated if
@@ -834,6 +1106,7 @@ impl LcuBackend {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // protocol message fields travel together
     fn lcu_direct_grant(
         &mut self,
         m: &mut Mach,
@@ -855,10 +1128,17 @@ impl LcuBackend {
                 let notify = {
                     let e = self.lcus[core].get_mut(addr, tid).expect("entry");
                     e.status = Status::Rcv;
+                    m.trace_entry_state(Ep::Core(core), addr, "Rcv");
                     e.head |= head;
                     if head {
                         e.cnt = cnt;
-                        Some(Node { tid, lcu: core, mode: e.mode, nonblocking: false, no_ovf: true })
+                        Some(Node {
+                            tid,
+                            lcu: core,
+                            mode: e.mode,
+                            nonblocking: false,
+                            no_ovf: true,
+                        })
                     } else {
                         debug_assert!(ack.is_none());
                         None
@@ -866,7 +1146,16 @@ impl LcuBackend {
                 };
                 if let Some(node) = notify {
                     self.counters.incr("lcu_head_notifies");
-                    self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
+                    self.send_to_lrt(
+                        m,
+                        core,
+                        Msg::HeadNotify {
+                            addr,
+                            node,
+                            cnt,
+                            ack,
+                        },
+                    );
                 }
                 self.propagate_read_grant(m, core, addr, tid);
                 self.try_take(m, core, addr, tid);
@@ -880,12 +1169,27 @@ impl LcuBackend {
                     e.head = true;
                     e.cnt = cnt;
                     (
-                        Node { tid, lcu: core, mode: e.mode, nonblocking: false, no_ovf: true },
+                        Node {
+                            tid,
+                            lcu: core,
+                            mode: e.mode,
+                            nonblocking: false,
+                            no_ovf: true,
+                        },
                         e.status == Status::Rcv,
                     )
                 };
                 self.counters.incr("lcu_head_notifies");
-                self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
+                self.send_to_lrt(
+                    m,
+                    core,
+                    Msg::HeadNotify {
+                        addr,
+                        node,
+                        cnt,
+                        ack,
+                    },
+                );
                 if was_rcv {
                     self.try_take(m, core, addr, tid);
                 }
@@ -897,7 +1201,9 @@ impl LcuBackend {
                 let next = self.lcus[core].get(addr, tid).expect("entry").next;
                 self.counters.incr("lcu_token_bypasses");
                 match next {
-                    Some(n) if n.mode == Mode::Write && (!n.no_ovf || !m.cfg().lcu_direct_transfer) => {
+                    Some(n)
+                        if n.mode == Mode::Write && (!n.no_ovf || !m.cfg().lcu_direct_transfer) =>
+                    {
                         // The writer may coexist with overflow readers: the
                         // LRT must gate its grant. Become the head first
                         // (acknowledging the original releaser), then hand
@@ -908,13 +1214,34 @@ impl LcuBackend {
                             e.head = true;
                             e.cnt = cnt;
                         }
-                        let node = Node { tid, lcu: core, mode: Mode::Read, nonblocking: false, no_ovf: true };
-                        self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
+                        let node = Node {
+                            tid,
+                            lcu: core,
+                            mode: Mode::Read,
+                            nonblocking: false,
+                            no_ovf: true,
+                        };
+                        self.send_to_lrt(
+                            m,
+                            core,
+                            Msg::HeadNotify {
+                                addr,
+                                node,
+                                cnt,
+                                ack,
+                            },
+                        );
                         self.send_head_token(m, core, tid, addr, cnt, n, true);
                     }
                     Some(n) => {
                         self.lcus[core].free(addr, tid);
-                        let g = Msg::DirectGrant { addr, tid: n.tid, head: true, cnt: cnt + 1, ack };
+                        let g = Msg::DirectGrant {
+                            addr,
+                            tid: n.tid,
+                            head: true,
+                            cnt: cnt + 1,
+                            ack,
+                        };
                         self.lcu_to_lcu(m, core, n.lcu, g);
                     }
                     None => {
@@ -927,10 +1254,31 @@ impl LcuBackend {
                             e.head = true;
                             e.cnt = cnt;
                         }
-                        let node = Node { tid, lcu: core, mode: Mode::Read, nonblocking: false, no_ovf: true };
-                        self.to_lrt(m, core, Msg::HeadNotify { addr, node, cnt, ack });
-                        let rel = Msg::ReleaseToLrt { addr, tid, lcu: core, mode: Mode::Read, overflow: false };
-                        self.to_lrt(m, core, rel);
+                        let node = Node {
+                            tid,
+                            lcu: core,
+                            mode: Mode::Read,
+                            nonblocking: false,
+                            no_ovf: true,
+                        };
+                        self.send_to_lrt(
+                            m,
+                            core,
+                            Msg::HeadNotify {
+                                addr,
+                                node,
+                                cnt,
+                                ack,
+                            },
+                        );
+                        let rel = Msg::ReleaseToLrt {
+                            addr,
+                            tid,
+                            lcu: core,
+                            mode: Mode::Read,
+                            overflow: false,
+                        };
+                        self.send_to_lrt(m, core, rel);
                     }
                 }
             }
@@ -952,7 +1300,13 @@ impl LcuBackend {
         if let Some(n) = e.next {
             if n.mode == Mode::Read {
                 self.counters.incr("lcu_read_propagations");
-                let g = Msg::DirectGrant { addr, tid: n.tid, head: false, cnt: 0, ack: None };
+                let g = Msg::DirectGrant {
+                    addr,
+                    tid: n.tid,
+                    head: false,
+                    cnt: 0,
+                    ack: None,
+                };
                 self.lcu_to_lcu(m, core, n.lcu, g);
             }
         }
@@ -1017,7 +1371,14 @@ impl LockBackend for LcuBackend {
         "lcu"
     }
 
-    fn on_acquire(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode, try_for: Option<Cycles>) {
+    fn on_acquire(
+        &mut self,
+        m: &mut Mach,
+        t: ThreadId,
+        lock: Addr,
+        mode: Mode,
+        try_for: Option<Cycles>,
+    ) {
         self.ensure_init(m);
         assert!(
             !self.reqs.contains_key(&t),
@@ -1034,8 +1395,15 @@ impl LockBackend for LcuBackend {
             if owner == t && mode == Mode::Write {
                 self.flts[core].remove(&lock);
                 self.counters.incr("flt_hits");
-                self.held.insert((t, lock), Held { mode, overflow: false, cnt });
-                self.checker.on_grant(lock, t, mode);
+                self.held.insert(
+                    (t, lock),
+                    Held {
+                        mode,
+                        overflow: false,
+                        cnt,
+                    },
+                );
+                self.checker.on_grant_traced(lock, t, mode, m.tracer());
                 m.grant_lock_in(t, m.cfg().lcu_latency);
                 return;
             }
@@ -1043,7 +1411,15 @@ impl LockBackend for LcuBackend {
             // release must become visible first.
             self.flt_unpark_release(m, core, lock);
         }
-        self.reqs.insert(t, Req { addr: lock, mode, core, needs_reissue: false });
+        self.reqs.insert(
+            t,
+            Req {
+                addr: lock,
+                mode,
+                core,
+                needs_reissue: false,
+            },
+        );
         if let Some(budget) = try_for {
             if budget == 0 {
                 // Degenerate trylock: single attempt semantics still need a
@@ -1064,13 +1440,19 @@ impl LockBackend for LcuBackend {
             .remove(&(t, lock))
             .unwrap_or_else(|| panic!("{t:?} releasing {lock} it does not hold"));
         debug_assert_eq!(held.mode, mode, "release mode mismatch");
-        self.checker.on_release(lock, t, mode);
+        self.checker.on_release_traced(lock, t, mode, m.tracer());
         let core = m.core_of(t).expect("release from scheduled thread").0 as usize;
         let lcu_lat = m.cfg().lcu_latency;
         if held.overflow {
             // Overflow readers have no entry; release goes straight home.
-            let rel = Msg::ReleaseToLrt { addr: lock, tid: t, lcu: core, mode, overflow: true };
-            self.to_lrt(m, core, rel);
+            let rel = Msg::ReleaseToLrt {
+                addr: lock,
+                tid: t,
+                lcu: core,
+                mode,
+                overflow: true,
+            };
+            self.send_to_lrt(m, core, rel);
             m.complete_release_in(t, lcu_lat);
             return;
         }
@@ -1084,18 +1466,26 @@ impl LockBackend for LcuBackend {
                 // holding). Send the release to the LRT, which forwards it
                 // to the entry (§III-C remote release).
                 self.counters.incr("lcu_remote_release_sent");
-                let rel = Msg::ReleaseToLrt { addr: lock, tid: t, lcu: core, mode, overflow: false };
-                self.to_lrt(m, core, rel);
+                let rel = Msg::ReleaseToLrt {
+                    addr: lock,
+                    tid: t,
+                    lcu: core,
+                    mode,
+                    overflow: false,
+                };
+                self.send_to_lrt(m, core, rel);
             }
-            (false, None) if mode == Mode::Write
-                && m.cfg().flt_entries > 0
-                && self.lcus[core].get(lock, t).is_none() =>
+            (false, None)
+                if mode == Mode::Write
+                    && m.cfg().flt_entries > 0
+                    && self.lcus[core].get(lock, t).is_none() =>
             {
                 // FLT (§IV-C): park the uncontended write release locally.
                 // The LRT keeps recording us as owner; a forwarded request
                 // unparks and transfers.
                 if self.flts[core].len() >= m.cfg().flt_entries {
-                    // Evict the oldest park by making its release visible.
+                    // Evict the lowest-addressed park by making its release
+                    // visible (deterministic victim selection).
                     if let Some(&victim) = self.flts[core].keys().next() {
                         self.flt_unpark_release(m, core, victim);
                     }
@@ -1114,8 +1504,14 @@ impl LockBackend for LcuBackend {
                     e.head = true;
                     e.cnt = held.cnt;
                     self.counters.incr("lcu_uncontended_releases");
-                    let rel = Msg::ReleaseToLrt { addr: lock, tid: t, lcu: core, mode, overflow: false };
-                    self.to_lrt(m, core, rel);
+                    let rel = Msg::ReleaseToLrt {
+                        addr: lock,
+                        tid: t,
+                        lcu: core,
+                        mode,
+                        overflow: false,
+                    };
+                    self.send_to_lrt(m, core, rel);
                 } else {
                     // The rel instruction spins until an entry frees; the
                     // thread stays blocked in the release meanwhile.
@@ -1124,7 +1520,13 @@ impl LockBackend for LcuBackend {
                     self.arm(
                         m,
                         backoff,
-                        TimerKind::RetryRelease { tid: t, addr: lock, mode, core, cnt: held.cnt },
+                        TimerKind::RetryRelease {
+                            tid: t,
+                            addr: lock,
+                            mode,
+                            core,
+                            cnt: held.cnt,
+                        },
                     );
                     return;
                 }
@@ -1158,7 +1560,9 @@ impl LockBackend for LcuBackend {
 
     fn on_timer(&mut self, m: &mut Mach, token: u64) {
         self.ensure_init(m);
-        let Some(kind) = self.timers.remove(&token) else { return };
+        let Some(kind) = self.timers.remove(&token) else {
+            return;
+        };
         match kind {
             TimerKind::TryExpire(t) => {
                 if let Some(req) = self.reqs.get(&t).copied() {
@@ -1210,22 +1614,49 @@ impl LockBackend for LcuBackend {
                     self.try_start_request(m, t);
                 }
             }
-            TimerKind::RetryRelease { tid, addr, mode, core, cnt } => {
+            TimerKind::RetryRelease {
+                tid,
+                addr,
+                mode,
+                core,
+                cnt,
+            } => {
                 if self.alloc_service_entry(core, addr, tid, mode) {
                     let e = self.lcus[core].get_mut(addr, tid).expect("just allocated");
                     e.status = Status::Rel;
                     e.head = true;
                     e.cnt = cnt;
                     self.counters.incr("lcu_uncontended_releases");
-                    let rel = Msg::ReleaseToLrt { addr, tid, lcu: core, mode, overflow: false };
-                    self.to_lrt(m, core, rel);
+                    let rel = Msg::ReleaseToLrt {
+                        addr,
+                        tid,
+                        lcu: core,
+                        mode,
+                        overflow: false,
+                    };
+                    self.send_to_lrt(m, core, rel);
                     m.complete_release_in(tid, m.cfg().lcu_latency);
                 } else {
                     let backoff = m.cfg().retry_backoff;
-                    self.arm(m, backoff, TimerKind::RetryRelease { tid, addr, mode, core, cnt });
+                    self.arm(
+                        m,
+                        backoff,
+                        TimerKind::RetryRelease {
+                            tid,
+                            addr,
+                            mode,
+                            core,
+                            cnt,
+                        },
+                    );
                 }
             }
-            TimerKind::RedeliverFwd { at, addr, tail_tid, req } => {
+            TimerKind::RedeliverFwd {
+                at,
+                addr,
+                tail_tid,
+                req,
+            } => {
                 self.counters.incr("lcu_fwd_redeliveries");
                 self.lcu_fwd_request(m, at, addr, tail_tid, req);
             }
@@ -1234,7 +1665,9 @@ impl LockBackend for LcuBackend {
 
     fn on_thread_scheduled(&mut self, m: &mut Mach, t: ThreadId, core: CoreId) {
         self.ensure_init(m);
-        let Some(req) = self.reqs.get(&t).copied() else { return };
+        let Some(req) = self.reqs.get(&t).copied() else {
+            return;
+        };
         let core = core.0 as usize;
         if req.core == core && !req.needs_reissue {
             // Back on the same core: a parked grant may be waiting.
@@ -1263,7 +1696,12 @@ impl LockBackend for LcuBackend {
             }
         }
         for (t, r) in &self.reqs {
-            writeln!(out, "req {t:?}: addr={} mode={:?} core={} reissue={}", r.addr, r.mode, r.core, r.needs_reissue).ok();
+            writeln!(
+                out,
+                "req {t:?}: addr={} mode={:?} core={} reissue={}",
+                r.addr, r.mode, r.core, r.needs_reissue
+            )
+            .ok();
         }
         for (i, flt) in self.flts.iter().enumerate() {
             for (a, (t, cnt)) in flt {
@@ -1271,7 +1709,12 @@ impl LockBackend for LcuBackend {
             }
         }
         for ((t, a), h) in &self.held {
-            writeln!(out, "held {t:?} {a}: mode={:?} overflow={} cnt={}", h.mode, h.overflow, h.cnt).ok();
+            writeln!(
+                out,
+                "held {t:?} {a}: mode={:?} overflow={} cnt={}",
+                h.mode, h.overflow, h.cnt
+            )
+            .ok();
         }
         for (i, lrt) in self.lrts.iter().enumerate() {
             for set in lrt.debug_sets() {
@@ -1279,7 +1722,13 @@ impl LockBackend for LcuBackend {
                     writeln!(
                         out,
                         "LRT{i}: addr={} head={:?} tail={:?} rdr={} ww={} pw={:?} cnt={}",
-                        e.addr, e.head, e.tail, e.reader_cnt, e.waiting_writers, e.pending_writer, e.cnt
+                        e.addr,
+                        e.head,
+                        e.tail,
+                        e.reader_cnt,
+                        e.waiting_writers,
+                        e.pending_writer,
+                        e.cnt
                     )
                     .ok();
                 }

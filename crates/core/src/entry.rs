@@ -81,8 +81,7 @@ impl Entry {
     /// Whether this entry currently participates in a read session (holds
     /// or held a read grant that has not passed on).
     pub fn read_session(&self) -> bool {
-        self.mode == Mode::Read
-            && matches!(self.status, Status::Rcv | Status::Acq | Status::RdRel)
+        self.mode == Mode::Read && matches!(self.status, Status::Rcv | Status::Acq | Status::RdRel)
     }
 }
 
@@ -265,7 +264,9 @@ mod tests {
         let e = l.alloc_for_local(Addr(0x200), T1, Mode::Read).unwrap();
         assert_eq!(e.kind, EntryKind::LocalRequest);
         // Both nonblocking and ordinary exhausted now.
-        assert!(l.alloc_for_local(Addr(0x300), ThreadId(2), Mode::Read).is_none());
+        assert!(l
+            .alloc_for_local(Addr(0x300), ThreadId(2), Mode::Read)
+            .is_none());
     }
 
     #[test]
@@ -279,7 +280,9 @@ mod tests {
     #[test]
     fn remote_request_entry_is_singular() {
         let mut l = Lcu::new(1);
-        assert!(l.alloc(A, T0, Mode::Write, EntryKind::RemoteRequest).is_some());
+        assert!(l
+            .alloc(A, T0, Mode::Write, EntryKind::RemoteRequest)
+            .is_some());
         assert!(l
             .alloc(Addr(0x200), T1, Mode::Write, EntryKind::RemoteRequest)
             .is_none());
@@ -301,7 +304,10 @@ mod tests {
     fn read_session_detection() {
         let mut l = Lcu::new(2);
         l.alloc(A, T0, Mode::Read, EntryKind::Ordinary).unwrap();
-        assert!(!l.get(A, T0).unwrap().read_session(), "Issued is not a session");
+        assert!(
+            !l.get(A, T0).unwrap().read_session(),
+            "Issued is not a session"
+        );
         l.get_mut(A, T0).unwrap().status = Status::Acq;
         assert!(l.get(A, T0).unwrap().read_session());
         l.get_mut(A, T0).unwrap().status = Status::RdRel;

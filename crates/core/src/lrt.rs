@@ -52,9 +52,7 @@ impl LrtEntry {
             && self.tail.is_none()
             && self.reader_cnt == 0
             && self.pending_writer.is_none()
-            && self
-                .reservation
-                .is_none_or(|(_, _, expiry)| expiry <= now)
+            && self.reservation.is_none_or(|(_, _, expiry)| expiry <= now)
     }
 }
 
@@ -128,7 +126,10 @@ impl Lrt {
         }
         if self.overflow.contains_key(&addr) {
             self.overflow_hits += 1;
-            return self.overflow.get_mut(&addr).map(|e| (e, Residency::Overflow));
+            return self
+                .overflow
+                .get_mut(&addr)
+                .map(|e| (e, Residency::Overflow));
         }
         None
     }

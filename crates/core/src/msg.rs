@@ -183,11 +183,26 @@ mod tests {
     #[test]
     fn addr_extraction_covers_variants() {
         let a = Addr(0x10);
-        let n = Node { tid: ThreadId(1), lcu: 2, mode: Mode::Read, nonblocking: false, no_ovf: true };
+        let n = Node {
+            tid: ThreadId(1),
+            lcu: 2,
+            mode: Mode::Read,
+            nonblocking: false,
+            no_ovf: true,
+        };
         let msgs = [
             Msg::Request { addr: a, req: n },
-            Msg::LrtGrant { addr: a, tid: ThreadId(1), head: true, overflow: false, cnt: 0 },
-            Msg::Retry { addr: a, tid: ThreadId(1) },
+            Msg::LrtGrant {
+                addr: a,
+                tid: ThreadId(1),
+                head: true,
+                overflow: false,
+                cnt: 0,
+            },
+            Msg::Retry {
+                addr: a,
+                tid: ThreadId(1),
+            },
             Msg::AbortNotify { addr: a },
         ];
         for m in msgs {

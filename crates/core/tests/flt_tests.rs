@@ -20,9 +20,16 @@ fn private_reacquire_is_local_with_flt() {
         let lock = w.mach().alloc().alloc_line();
         let mut script = Vec::new();
         for _ in 0..50 {
-            script.push(Action::Acquire { lock, mode: Mode::Write, try_for: None });
+            script.push(Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            });
             script.push(Action::Compute(40));
-            script.push(Action::Release { lock, mode: Mode::Write });
+            script.push(Action::Release {
+                lock,
+                mode: Mode::Write,
+            });
         }
         w.spawn(Box::new(ScriptProgram::new(script)));
         w.run_to_completion();
@@ -30,7 +37,11 @@ fn private_reacquire_is_local_with_flt() {
     };
     let (t_off, _) = run(0);
     let (t_on, c_on) = run(4);
-    assert_eq!(c_on.get("flt_hits"), 49, "every re-acquire should hit the FLT");
+    assert_eq!(
+        c_on.get("flt_hits"),
+        49,
+        "every re-acquire should hit the FLT"
+    );
     assert!(
         (t_on as f64) < (t_off as f64) * 0.35,
         "FLT should slash private-lock cost: {t_on} vs {t_off}"
@@ -44,22 +55,44 @@ fn parked_lock_transfers_when_requested() {
     let mut w = flt_world(4, 4, 2);
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(100),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
         Action::Compute(200_000), // stay alive; do not re-acquire
     ])));
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Compute(5_000),
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(100),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     let c = w.report_counters();
     assert_eq!(c.get("locks_granted"), 2);
-    assert_eq!(c.get("flt_parks"), 2, "both releases were uncontended parks");
-    assert_eq!(c.get("flt_fwd_unparks"), 1, "t1's request unparked t0's release");
+    assert_eq!(
+        c.get("flt_parks"),
+        2,
+        "both releases were uncontended parks"
+    );
+    assert_eq!(
+        c.get("flt_fwd_unparks"),
+        1,
+        "t1's request unparked t0's release"
+    );
 }
 
 #[test]
@@ -69,8 +102,15 @@ fn flt_capacity_evicts_oldest() {
     let locks: Vec<_> = (0..5).map(|_| w.mach().alloc().alloc_line()).collect();
     let mut script = Vec::new();
     for &l in &locks {
-        script.push(Action::Acquire { lock: l, mode: Mode::Write, try_for: None });
-        script.push(Action::Release { lock: l, mode: Mode::Write });
+        script.push(Action::Acquire {
+            lock: l,
+            mode: Mode::Write,
+            try_for: None,
+        });
+        script.push(Action::Release {
+            lock: l,
+            mode: Mode::Write,
+        });
     }
     script.push(Action::Compute(100_000));
     w.spawn(Box::new(ScriptProgram::new(script)));
@@ -87,15 +127,29 @@ fn different_local_thread_forces_unpark() {
     let mut w = flt_world(4, 1, 4);
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
-        Action::Release { lock, mode: Mode::Write },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
         Action::Yield,
         Action::Compute(10),
     ])));
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(10),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     let c = w.report_counters();
@@ -110,15 +164,29 @@ fn contended_workload_with_flt_stays_correct() {
     let mut w = flt_world(4, 8, 5);
     let shared = w.mach().alloc().alloc_line();
     let privates: Vec<_> = (0..8).map(|_| w.mach().alloc().alloc_line()).collect();
-    for t in 0..8usize {
+    for &private in privates.iter().take(8) {
         let mut script = Vec::new();
         for _ in 0..10 {
-            script.push(Action::Acquire { lock: privates[t], mode: Mode::Write, try_for: None });
+            script.push(Action::Acquire {
+                lock: private,
+                mode: Mode::Write,
+                try_for: None,
+            });
             script.push(Action::Compute(50));
-            script.push(Action::Release { lock: privates[t], mode: Mode::Write });
-            script.push(Action::Acquire { lock: shared, mode: Mode::Write, try_for: None });
+            script.push(Action::Release {
+                lock: private,
+                mode: Mode::Write,
+            });
+            script.push(Action::Acquire {
+                lock: shared,
+                mode: Mode::Write,
+                try_for: None,
+            });
             script.push(Action::Compute(50));
-            script.push(Action::Release { lock: shared, mode: Mode::Write });
+            script.push(Action::Release {
+                lock: shared,
+                mode: Mode::Write,
+            });
         }
         w.spawn(Box::new(ScriptProgram::new(script)));
     }

@@ -22,33 +22,43 @@ fn spawn_script(w: &mut World, locks: &[Addr], script: OpScript, done: Rc<RefCel
     let locks = locks.to_vec();
     let mut i = 0;
     let mut stage = 0u8;
-    w.spawn(Box::new(FnProgram(#[allow(clippy::never_loop)] move |_: &mut Ctx<'_>, _: Outcome| loop {
-        if i == script.ops.len() {
-            return Action::Done;
-        }
-        let (l, wr, cs, think) = script.ops[i];
-        let mode = if wr { Mode::Write } else { Mode::Read };
-        match stage {
-            0 => {
-                stage = 1;
-                return Action::Acquire { lock: locks[l % locks.len()], mode, try_for: None };
+    w.spawn(Box::new(FnProgram(
+        #[allow(clippy::never_loop)]
+        move |_: &mut Ctx<'_>, _: Outcome| loop {
+            if i == script.ops.len() {
+                return Action::Done;
             }
-            1 => {
-                stage = 2;
-                return Action::Compute(u64::from(cs) + 1);
+            let (l, wr, cs, think) = script.ops[i];
+            let mode = if wr { Mode::Write } else { Mode::Read };
+            match stage {
+                0 => {
+                    stage = 1;
+                    return Action::Acquire {
+                        lock: locks[l % locks.len()],
+                        mode,
+                        try_for: None,
+                    };
+                }
+                1 => {
+                    stage = 2;
+                    return Action::Compute(u64::from(cs) + 1);
+                }
+                2 => {
+                    stage = 3;
+                    return Action::Release {
+                        lock: locks[l % locks.len()],
+                        mode,
+                    };
+                }
+                _ => {
+                    *done.borrow_mut() += 1;
+                    stage = 0;
+                    i += 1;
+                    return Action::Compute(u64::from(think) + 1);
+                }
             }
-            2 => {
-                stage = 3;
-                return Action::Release { lock: locks[l % locks.len()], mode };
-            }
-            _ => {
-                *done.borrow_mut() += 1;
-                stage = 0;
-                i += 1;
-                return Action::Compute(u64::from(think) + 1);
-            }
-        }
-    })));
+        },
+    )));
 }
 
 proptest! {
@@ -123,11 +133,18 @@ fn trylock_abort_mid_queue_passes_grant_through() {
         w.spawn(Box::new(FnProgram(move |_: &mut Ctx<'_>, _: Outcome| {
             stage += 1;
             match stage {
-                1 => Action::Acquire { lock, mode: Mode::Write, try_for: None },
+                1 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: None,
+                },
                 2 => Action::Compute(40_000),
                 3 => {
                     order.borrow_mut().push(("t0-release", 0));
-                    Action::Release { lock, mode: Mode::Write }
+                    Action::Release {
+                        lock,
+                        mode: Mode::Write,
+                    }
                 }
                 _ => Action::Done,
             }
@@ -141,9 +158,15 @@ fn trylock_abort_mid_queue_passes_grant_through() {
             stage += 1;
             match stage {
                 1 => Action::Compute(1_000),
-                2 => Action::Acquire { lock, mode: Mode::Write, try_for: Some(5_000) },
+                2 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: Some(5_000),
+                },
                 _ => {
-                    order.borrow_mut().push(("t1-outcome", ctx.now.cycles() as i64 as i32));
+                    order
+                        .borrow_mut()
+                        .push(("t1-outcome", ctx.now.cycles() as i64 as i32));
                     assert_eq!(o, Outcome::Failed);
                     Action::Done
                 }
@@ -159,10 +182,17 @@ fn trylock_abort_mid_queue_passes_grant_through() {
             stage += 1;
             match stage {
                 1 => Action::Compute(2_000),
-                2 => Action::Acquire { lock, mode: Mode::Write, try_for: None },
+                2 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: None,
+                },
                 3 => {
                     order.borrow_mut().push(("t2-granted", 0));
-                    Action::Release { lock, mode: Mode::Write }
+                    Action::Release {
+                        lock,
+                        mode: Mode::Write,
+                    }
                 }
                 _ => Action::Done,
             }
@@ -190,31 +220,65 @@ fn reservation_prevents_nonblocking_starvation() {
     // Thread 0 holds `busy` *contended* (a partner queues behind it, which
     // re-allocates and pins the single ordinary entry), then acquires
     // `target` — which must use the nonblocking local-request entry.
-    w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(vec![
-        Action::Compute(10_000),
-        Action::Acquire { lock: busy, mode: Mode::Write, try_for: None },
-        // The partner enqueues on `busy` during this window.
-        Action::Compute(6_000),
-        Action::Acquire { lock: target, mode: Mode::Write, try_for: None },
-        Action::Compute(100),
-        Action::Release { lock: target, mode: Mode::Write },
-        Action::Release { lock: busy, mode: Mode::Write },
-    ])));
+    w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+        vec![
+            Action::Compute(10_000),
+            Action::Acquire {
+                lock: busy,
+                mode: Mode::Write,
+                try_for: None,
+            },
+            // The partner enqueues on `busy` during this window.
+            Action::Compute(6_000),
+            Action::Acquire {
+                lock: target,
+                mode: Mode::Write,
+                try_for: None,
+            },
+            Action::Compute(100),
+            Action::Release {
+                lock: target,
+                mode: Mode::Write,
+            },
+            Action::Release {
+                lock: busy,
+                mode: Mode::Write,
+            },
+        ],
+    )));
     // The partner that keeps t0's busy-entry alive in the queue.
-    w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(vec![
-        Action::Compute(12_000),
-        Action::Acquire { lock: busy, mode: Mode::Write, try_for: None },
-        Action::Release { lock: busy, mode: Mode::Write },
-    ])));
+    w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+        vec![
+            Action::Compute(12_000),
+            Action::Acquire {
+                lock: busy,
+                mode: Mode::Write,
+                try_for: None,
+            },
+            Action::Release {
+                lock: busy,
+                mode: Mode::Write,
+            },
+        ],
+    )));
     // Three rivals churn `target` with ordinary blocking acquires.
     for _ in 0..3 {
         let mut script = Vec::new();
         for _ in 0..30 {
-            script.push(Action::Acquire { lock: target, mode: Mode::Write, try_for: None });
+            script.push(Action::Acquire {
+                lock: target,
+                mode: Mode::Write,
+                try_for: None,
+            });
             script.push(Action::Compute(300));
-            script.push(Action::Release { lock: target, mode: Mode::Write });
+            script.push(Action::Release {
+                lock: target,
+                mode: Mode::Write,
+            });
         }
-        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(script)));
+        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+            script,
+        )));
     }
     w.run_to_completion();
     let c = w.report_counters();
@@ -237,12 +301,21 @@ fn preempted_waiter_is_skipped_then_served() {
     for _ in 0..3 {
         let mut script = Vec::new();
         for _ in 0..8 {
-            script.push(Action::Acquire { lock, mode: Mode::Write, try_for: None });
+            script.push(Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            });
             script.push(Action::Rmw(counter, locksim_machine::RmwOp::FetchAdd(1)));
             script.push(Action::Compute(8_000));
-            script.push(Action::Release { lock, mode: Mode::Write });
+            script.push(Action::Release {
+                lock,
+                mode: Mode::Write,
+            });
         }
-        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(script)));
+        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+            script,
+        )));
     }
     w.run_to_completion();
     assert_eq!(w.mach().mem_peek(counter), 24);
@@ -257,26 +330,47 @@ fn read_session_churn_with_token_bypass() {
     for t in 0..16u64 {
         let mut script = vec![Action::Compute(1 + t * 37)];
         for _ in 0..12 {
-            script.push(Action::Acquire { lock, mode: Mode::Read, try_for: None });
+            script.push(Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            });
             script.push(Action::Compute(400));
-            script.push(Action::Release { lock, mode: Mode::Read });
+            script.push(Action::Release {
+                lock,
+                mode: Mode::Read,
+            });
             script.push(Action::Compute(100));
         }
-        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(script)));
+        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+            script,
+        )));
     }
     // One writer interleaving throughout.
     let mut script = vec![Action::Compute(500)];
     for _ in 0..12 {
-        script.push(Action::Acquire { lock, mode: Mode::Write, try_for: None });
+        script.push(Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        });
         script.push(Action::Compute(200));
-        script.push(Action::Release { lock, mode: Mode::Write });
+        script.push(Action::Release {
+            lock,
+            mode: Mode::Write,
+        });
         script.push(Action::Compute(2_000));
     }
-    w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(script)));
+    w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+        script,
+    )));
     w.run_to_completion();
     let c = w.report_counters();
     assert_eq!(c.get("locks_granted"), 16 * 12 + 12);
-    assert!(c.get("lcu_read_shares") + c.get("lcu_read_propagations") > 0, "{c:?}");
+    assert!(
+        c.get("lcu_read_shares") + c.get("lcu_read_propagations") > 0,
+        "{c:?}"
+    );
 }
 
 /// Migration storm: threads hop cores mid-acquire repeatedly; grants are
@@ -288,11 +382,20 @@ fn migration_storm_completes() {
     for _ in 0..4 {
         let mut script = Vec::new();
         for _ in 0..6 {
-            script.push(Action::Acquire { lock, mode: Mode::Write, try_for: None });
+            script.push(Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            });
             script.push(Action::Compute(4_000));
-            script.push(Action::Release { lock, mode: Mode::Write });
+            script.push(Action::Release {
+                lock,
+                mode: Mode::Write,
+            });
         }
-        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(script)));
+        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+            script,
+        )));
     }
     // Periodically migrate whichever thread sits on core 1 to a free core.
     let mut next_free = 8;
@@ -327,37 +430,74 @@ fn token_bypass_respects_overflow_readers() {
     // entry) and then read-acquires `target` nonblockingly — some land in
     // overflow mode — holding both for a long window.
     for _ in 0..8 {
-        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(vec![
-            Action::Acquire { lock: pin, mode: Mode::Read, try_for: None },
-            Action::Acquire { lock: target, mode: Mode::Read, try_for: None },
-            Action::Compute(30_000),
-            Action::Release { lock: target, mode: Mode::Read },
-            Action::Release { lock: pin, mode: Mode::Read },
-        ])));
+        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+            vec![
+                Action::Acquire {
+                    lock: pin,
+                    mode: Mode::Read,
+                    try_for: None,
+                },
+                Action::Acquire {
+                    lock: target,
+                    mode: Mode::Read,
+                    try_for: None,
+                },
+                Action::Compute(30_000),
+                Action::Release {
+                    lock: target,
+                    mode: Mode::Read,
+                },
+                Action::Release {
+                    lock: pin,
+                    mode: Mode::Read,
+                },
+            ],
+        )));
     }
     // Churning queue readers that release quickly (building RD_REL chains).
     for _ in 0..4 {
         let mut script = vec![Action::Compute(2_000)];
         for _ in 0..10 {
-            script.push(Action::Acquire { lock: target, mode: Mode::Read, try_for: None });
+            script.push(Action::Acquire {
+                lock: target,
+                mode: Mode::Read,
+                try_for: None,
+            });
             script.push(Action::Compute(100));
-            script.push(Action::Release { lock: target, mode: Mode::Read });
+            script.push(Action::Release {
+                lock: target,
+                mode: Mode::Read,
+            });
         }
-        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(script)));
+        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+            script,
+        )));
     }
     // Writers that enqueue behind the readers; the checker panics if any
     // writer is granted while overflow readers hold.
     for _ in 0..3 {
         let mut script = vec![Action::Compute(4_000)];
         for _ in 0..5 {
-            script.push(Action::Acquire { lock: target, mode: Mode::Write, try_for: None });
+            script.push(Action::Acquire {
+                lock: target,
+                mode: Mode::Write,
+                try_for: None,
+            });
             script.push(Action::Compute(200));
-            script.push(Action::Release { lock: target, mode: Mode::Write });
+            script.push(Action::Release {
+                lock: target,
+                mode: Mode::Write,
+            });
         }
-        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(script)));
+        w.spawn(Box::new(locksim_machine::testing::ScriptProgram::new(
+            script,
+        )));
     }
     w.run_to_completion();
     let c = w.report_counters();
     assert_eq!(c.get("locks_granted"), 16 + 40 + 15);
-    assert!(c.get("lrt_overflow_grants") > 0, "scenario must exercise overflow: {c:?}");
+    assert!(
+        c.get("lrt_overflow_grants") > 0,
+        "scenario must exercise overflow: {c:?}"
+    );
 }

@@ -54,8 +54,16 @@ impl Program for CsLoop {
                     }
                     self.is_writer = ctx.rng.below(100) < self.write_pct as u64;
                     self.stage = 1;
-                    let mode = if self.is_writer { Mode::Write } else { Mode::Read };
-                    return Action::Acquire { lock: self.lock, mode, try_for: None };
+                    let mode = if self.is_writer {
+                        Mode::Write
+                    } else {
+                        Mode::Read
+                    };
+                    return Action::Acquire {
+                        lock: self.lock,
+                        mode,
+                        try_for: None,
+                    };
                 }
                 1 => {
                     assert_eq!(outcome, Outcome::Granted);
@@ -63,7 +71,9 @@ impl Program for CsLoop {
                     return Action::Read(self.counter);
                 }
                 2 => {
-                    let Outcome::Value(v) = outcome else { panic!("expected value") };
+                    let Outcome::Value(v) = outcome else {
+                        panic!("expected value")
+                    };
                     self.val = v;
                     self.stage = 3;
                     return Action::Compute(self.cs_cycles);
@@ -82,8 +92,15 @@ impl Program for CsLoop {
                 }
                 5 => {
                     self.stage = 6;
-                    let mode = if self.is_writer { Mode::Write } else { Mode::Read };
-                    return Action::Release { lock: self.lock, mode };
+                    let mode = if self.is_writer {
+                        Mode::Write
+                    } else {
+                        Mode::Read
+                    };
+                    return Action::Release {
+                        lock: self.lock,
+                        mode,
+                    };
                 }
                 6 => {
                     self.i += 1;
@@ -109,9 +126,16 @@ fn single_uncontended_acquire_release() {
     let mut w = lcu_world(MachineConfig::model_a(4), 1);
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(100),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     let c = w.report_counters();
@@ -167,13 +191,20 @@ fn writers_granted_fifo_when_staggered() {
                     // Stagger well beyond message latencies so arrival
                     // order at the LRT is deterministic.
                     1 => Action::Compute(1 + i as u64 * 3_000),
-                    2 => Action::Acquire { lock, mode: Mode::Write, try_for: None },
+                    2 => Action::Acquire {
+                        lock,
+                        mode: Mode::Write,
+                        try_for: None,
+                    },
                     3 => {
                         order.borrow_mut().push(ctx.tid.0);
                         // Hold long enough that everyone queues up.
                         Action::Compute(30_000)
                     }
-                    4 => Action::Release { lock, mode: Mode::Write },
+                    4 => Action::Release {
+                        lock,
+                        mode: Mode::Write,
+                    },
                     _ => Action::Done,
                 }
             },
@@ -189,9 +220,16 @@ fn readers_overlap_writers_do_not() {
     let lock = w.mach().alloc().alloc_line();
     for _ in 0..6 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
             Action::Compute(20_000),
-            Action::Release { lock, mode: Mode::Read },
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
         ])));
     }
     w.run_to_completion();
@@ -205,9 +243,16 @@ fn readers_overlap_writers_do_not() {
     let lock = w.mach().alloc().alloc_line();
     for _ in 0..6 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Write, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            },
             Action::Compute(20_000),
-            Action::Release { lock, mode: Mode::Write },
+            Action::Release {
+                lock,
+                mode: Mode::Write,
+            },
         ])));
     }
     w.run_to_completion();
@@ -266,9 +311,16 @@ fn trylock_fails_under_hold_and_lock_stays_usable() {
     let r2 = result.clone();
     // Holder keeps the lock for 80k cycles.
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(80_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     // Trylock with a 5k budget must fail, then a blocking acquire works.
     let mut stage = 0;
@@ -277,12 +329,23 @@ fn trylock_fails_under_hold_and_lock_stays_usable() {
             stage += 1;
             match stage {
                 1 => Action::Compute(2_000),
-                2 => Action::Acquire { lock, mode: Mode::Write, try_for: Some(5_000) },
+                2 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: Some(5_000),
+                },
                 3 => {
                     *r2.borrow_mut() = Some(outcome);
-                    Action::Acquire { lock, mode: Mode::Write, try_for: None }
+                    Action::Acquire {
+                        lock,
+                        mode: Mode::Write,
+                        try_for: None,
+                    }
                 }
-                4 => Action::Release { lock, mode: Mode::Write },
+                4 => Action::Release {
+                    lock,
+                    mode: Mode::Write,
+                },
                 _ => Action::Done,
             }
         },
@@ -299,9 +362,16 @@ fn trylock_succeeds_on_free_lock() {
     let mut w = lcu_world(MachineConfig::model_a(4), 8);
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: Some(10_000) },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: Some(10_000),
+        },
         Action::Compute(10),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     assert_eq!(w.report_counters().get("locks_granted"), 1);
@@ -313,16 +383,30 @@ fn migration_while_waiting_still_acquires() {
     let lock = w.mach().alloc().alloc_line();
     // Holder occupies the lock for a while.
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(60_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     // Waiter requests, then is migrated while spinning.
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Compute(1_000),
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(100),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     // Let the waiter enqueue, then migrate it to a distant core.
     w.run_for(Some(Time::from_cycles(20_000)));
@@ -338,16 +422,30 @@ fn migration_while_holding_releases_remotely() {
     // A queue must exist behind the holder for the remote-release
     // forwarding to matter.
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(50_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
         Action::Compute(10),
     ])));
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Compute(5_000),
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(100),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     // Migrate the holder mid-critical-section.
     w.run_for(Some(Time::from_cycles(20_000)));
@@ -374,11 +472,18 @@ fn tiny_lcu_overflow_readers_preserve_exclusion() {
     for _ in 0..3 {
         let mut script = Vec::new();
         for &l in &locks {
-            script.push(Action::Acquire { lock: l, mode: Mode::Read, try_for: None });
+            script.push(Action::Acquire {
+                lock: l,
+                mode: Mode::Read,
+                try_for: None,
+            });
         }
         script.push(Action::Compute(5_000));
         for &l in &locks {
-            script.push(Action::Release { lock: l, mode: Mode::Read });
+            script.push(Action::Release {
+                lock: l,
+                mode: Mode::Read,
+            });
         }
         w.spawn(Box::new(ScriptProgram::new(script)));
     }
@@ -386,9 +491,16 @@ fn tiny_lcu_overflow_readers_preserve_exclusion() {
     let mut script = Vec::new();
     script.push(Action::Compute(1_000));
     for &l in &locks {
-        script.push(Action::Acquire { lock: l, mode: Mode::Write, try_for: None });
+        script.push(Action::Acquire {
+            lock: l,
+            mode: Mode::Write,
+            try_for: None,
+        });
         script.push(Action::Compute(10));
-        script.push(Action::Release { lock: l, mode: Mode::Write });
+        script.push(Action::Release {
+            lock: l,
+            mode: Mode::Write,
+        });
     }
     w.spawn(Box::new(ScriptProgram::new(script)));
     w.run_to_completion();
@@ -411,11 +523,18 @@ fn lrt_eviction_to_memory_table_is_correct() {
         // LRT entries stay live), then releases.
         let mine: Vec<Addr> = locks[(t as usize * 6)..(t as usize * 6 + 6)].to_vec();
         for &l in &mine {
-            script.push(Action::Acquire { lock: l, mode: Mode::Write, try_for: None });
+            script.push(Action::Acquire {
+                lock: l,
+                mode: Mode::Write,
+                try_for: None,
+            });
         }
         script.push(Action::Compute(2_000));
         for &l in &mine {
-            script.push(Action::Release { lock: l, mode: Mode::Write });
+            script.push(Action::Release {
+                lock: l,
+                mode: Mode::Write,
+            });
         }
         w.spawn(Box::new(ScriptProgram::new(script)));
     }
@@ -452,20 +571,41 @@ fn rd_rel_fast_reacquire_counts() {
     let lock = w.mach().alloc().alloc_line();
     // Reader A holds for a long time (keeps the head token).
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Read, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Read,
+            try_for: None,
+        },
         Action::Compute(50_000),
-        Action::Release { lock, mode: Mode::Read },
+        Action::Release {
+            lock,
+            mode: Mode::Read,
+        },
     ])));
     // Reader B: acquire, release, re-acquire quickly.
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Compute(2_000),
-        Action::Acquire { lock, mode: Mode::Read, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Read,
+            try_for: None,
+        },
         Action::Compute(100),
-        Action::Release { lock, mode: Mode::Read },
+        Action::Release {
+            lock,
+            mode: Mode::Read,
+        },
         Action::Compute(100),
-        Action::Acquire { lock, mode: Mode::Read, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Read,
+            try_for: None,
+        },
         Action::Compute(100),
-        Action::Release { lock, mode: Mode::Read },
+        Action::Release {
+            lock,
+            mode: Mode::Read,
+        },
     ])));
     w.run_to_completion();
     let c = w.report_counters();

@@ -118,7 +118,11 @@ impl<E> Simulator<E> {
     ///
     /// Panics in debug builds if `at` is in the past.
     pub fn schedule_at(&mut self, at: Time, event: E) -> EventSeq {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry {

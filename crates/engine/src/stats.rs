@@ -70,14 +70,24 @@ impl Running {
         }
     }
 
-    /// Smallest sample (+inf if empty).
+    /// Smallest sample (0 if empty — never leaks the +∞ sentinel into
+    /// formatted output).
     pub fn min(&self) -> f64 {
-        self.min
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
-    /// Largest sample (-inf if empty).
+    /// Largest sample (0 if empty — never leaks the -∞ sentinel into
+    /// formatted output).
     pub fn max(&self) -> f64 {
-        self.max
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Population variance (dividing by n; 0 if empty).
@@ -168,7 +178,14 @@ pub struct Summary {
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1} ±{:.1} (n={})", self.mean, self.ci95, self.count)
+        // With fewer than two samples there is no spread estimate: render
+        // "n/a" rather than a misleading ±0.0 (or NaN from a degenerate
+        // accumulator).
+        if self.count < 2 || self.ci95.is_nan() {
+            write!(f, "{:.1} ±n/a (n={})", self.mean, self.count)
+        } else {
+            write!(f, "{:.1} ±{:.1} (n={})", self.mean, self.ci95, self.count)
+        }
     }
 }
 
@@ -191,7 +208,11 @@ impl Histogram {
 
     /// Records one sample.
     pub fn add(&mut self, value: u64) {
-        let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() - 1 };
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() - 1
+        };
         *self.buckets.entry(bucket).or_insert(0) += 1;
         self.total += 1;
     }
@@ -358,6 +379,44 @@ mod tests {
         r.add(20.0);
         let s = format!("{}", r.summary());
         assert!(s.contains("15.0"));
+        assert!(!s.contains("n/a"), "two samples have a real CI: {s}");
+    }
+
+    #[test]
+    fn empty_running_formats_finite() {
+        let r = Running::new();
+        assert_eq!(r.min(), 0.0);
+        assert_eq!(r.max(), 0.0);
+        let s = format!("{}", r.summary());
+        assert!(
+            !s.contains("inf") && !s.contains("NaN"),
+            "leaked sentinel: {s}"
+        );
+        assert!(s.contains("n/a"), "no CI without samples: {s}");
+    }
+
+    #[test]
+    fn single_sample_summary_renders_na_ci() {
+        let mut r = Running::new();
+        r.add(42.0);
+        let s = format!("{}", r.summary());
+        assert!(s.contains("42.0"));
+        assert!(s.contains("±n/a"), "n=1 has no spread estimate: {s}");
+        assert!(s.contains("(n=1)"));
+    }
+
+    #[test]
+    fn nan_ci_renders_na() {
+        let s = Summary {
+            count: 5,
+            mean: 1.0,
+            ci95: f64::NAN,
+            min: 0.0,
+            max: 2.0,
+        };
+        let txt = format!("{s}");
+        assert!(!txt.contains("NaN"), "{txt}");
+        assert!(txt.contains("±n/a"), "{txt}");
     }
 
     #[test]

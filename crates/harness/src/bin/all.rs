@@ -1,6 +1,8 @@
 //! Regenerates every figure and table.
+type Fig = fn() -> Vec<locksim_harness::Table>;
+
 fn main() {
-    let figs: &[(&str, fn() -> Vec<locksim_harness::Table>)] = &[
+    let figs: &[(&str, Fig)] = &[
         ("fig1", locksim_harness::figs::fig1),
         ("fig8", locksim_harness::figs::fig8),
         ("fig9", locksim_harness::figs::fig9),
@@ -14,6 +16,6 @@ fn main() {
     ];
     for (name, f) in figs {
         eprintln!("== regenerating {name} ==");
-        locksim_harness::emit(name, &f());
+        locksim_harness::run_bin(name, f);
     }
 }

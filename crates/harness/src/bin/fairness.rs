@@ -1,4 +1,4 @@
 //! Regenerates the fairness analysis table.
 fn main() {
-    locksim_harness::emit("fairness", &locksim_harness::figs::fairness());
+    locksim_harness::run_bin("fairness", locksim_harness::figs::fairness);
 }

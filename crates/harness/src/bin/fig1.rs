@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig1 results.
 fn main() {
-    locksim_harness::emit("fig1", &locksim_harness::figs::fig1());
+    locksim_harness::run_bin("fig1", locksim_harness::figs::fig1);
 }

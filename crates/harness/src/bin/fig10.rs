@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig10 results.
 fn main() {
-    locksim_harness::emit("fig10", &locksim_harness::figs::fig10());
+    locksim_harness::run_bin("fig10", locksim_harness::figs::fig10);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig11 results.
 fn main() {
-    locksim_harness::emit("fig11", &locksim_harness::figs::fig11());
+    locksim_harness::run_bin("fig11", locksim_harness::figs::fig11);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig12 results.
 fn main() {
-    locksim_harness::emit("fig12", &locksim_harness::figs::fig12());
+    locksim_harness::run_bin("fig12", locksim_harness::figs::fig12);
 }

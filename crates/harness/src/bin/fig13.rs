@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig13 results.
 fn main() {
-    locksim_harness::emit("fig13", &locksim_harness::figs::fig13());
+    locksim_harness::run_bin("fig13", locksim_harness::figs::fig13);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig8 results.
 fn main() {
-    locksim_harness::emit("fig8", &locksim_harness::figs::fig8());
+    locksim_harness::run_bin("fig8", locksim_harness::figs::fig8);
 }

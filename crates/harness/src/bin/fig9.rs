@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig9 results.
 fn main() {
-    locksim_harness::emit("fig9", &locksim_harness::figs::fig9());
+    locksim_harness::run_bin("fig9", locksim_harness::figs::fig9);
 }

@@ -1,5 +1,5 @@
 //! Regenerates the per-CS message-cost table (Figure 1's "transfer
-//! messages" column, measured).
+//! messages" column, measured) from the metrics registry.
 fn main() {
-    locksim_harness::emit("messages", &locksim_harness::figs::messages());
+    locksim_harness::run_bin("messages", locksim_harness::figs::messages);
 }

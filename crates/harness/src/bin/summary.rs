@@ -1,4 +1,4 @@
 //! Regenerates the paper's summary results.
 fn main() {
-    locksim_harness::emit("summary", &locksim_harness::figs::summary());
+    locksim_harness::run_bin("summary", locksim_harness::figs::summary);
 }

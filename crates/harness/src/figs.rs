@@ -24,13 +24,90 @@ pub fn fig1() -> Vec<Table> {
         ],
     );
     let rows: Vec<[&str; 10]> = vec![
-        ["TAS/TATAS", "no", "no", "no", "n/a", "yes", "poor", "1 line/lock", "O(threads)", "no"],
-        ["MCS", "no", "yes", "yes", "no", "no", "good", "O(n)/lock", "~3 coherence ops", "no"],
-        ["MRSW (RW-MCS)", "yes", "partly", "yes", "no", "no", "counter hotspot", "O(n)/lock", ">3 coherence ops", "no"],
-        ["QOLB", "no", "yes", "yes", "no", "no", "good", "2 lines/lock + tags", "1-2", "yes"],
-        ["MAO (fetch&op)", "no", "no", "no", "n/a", "yes", "memory bound", "none", "2 (round trip)", "no"],
-        ["SSB", "yes (unfair)", "no", "no", "n/a", "yes", "retry bound", "SSB table", "2 (round trip)", "no"],
-        ["LCU/LRT (paper)", "yes (fair)", "yes", "yes", "yes (timeout)", "yes", "good", "LCU+LRT tables", "1 (direct)", "no"],
+        [
+            "TAS/TATAS",
+            "no",
+            "no",
+            "no",
+            "n/a",
+            "yes",
+            "poor",
+            "1 line/lock",
+            "O(threads)",
+            "no",
+        ],
+        [
+            "MCS",
+            "no",
+            "yes",
+            "yes",
+            "no",
+            "no",
+            "good",
+            "O(n)/lock",
+            "~3 coherence ops",
+            "no",
+        ],
+        [
+            "MRSW (RW-MCS)",
+            "yes",
+            "partly",
+            "yes",
+            "no",
+            "no",
+            "counter hotspot",
+            "O(n)/lock",
+            ">3 coherence ops",
+            "no",
+        ],
+        [
+            "QOLB",
+            "no",
+            "yes",
+            "yes",
+            "no",
+            "no",
+            "good",
+            "2 lines/lock + tags",
+            "1-2",
+            "yes",
+        ],
+        [
+            "MAO (fetch&op)",
+            "no",
+            "no",
+            "no",
+            "n/a",
+            "yes",
+            "memory bound",
+            "none",
+            "2 (round trip)",
+            "no",
+        ],
+        [
+            "SSB",
+            "yes (unfair)",
+            "no",
+            "no",
+            "n/a",
+            "yes",
+            "retry bound",
+            "SSB table",
+            "2 (round trip)",
+            "no",
+        ],
+        [
+            "LCU/LRT (paper)",
+            "yes (fair)",
+            "yes",
+            "yes",
+            "yes (timeout)",
+            "yes",
+            "good",
+            "LCU+LRT tables",
+            "1 (direct)",
+            "no",
+        ],
     ];
     for r in rows {
         t.push(r.iter().map(|s| s.to_string()).collect());
@@ -49,14 +126,42 @@ pub fn fig8() -> Vec<Table> {
     let rows: Vec<(&str, String, String)> = vec![
         ("chips", a.chips.to_string(), b.chips.to_string()),
         ("cores", a.n_cores().to_string(), b.n_cores().to_string()),
-        ("L1 latency (cy)", a.l1_latency.to_string(), b.l1_latency.to_string()),
-        ("dir/L2 latency (cy)", a.dir_latency.to_string(), b.dir_latency.to_string()),
-        ("DRAM latency (cy)", a.dram_latency.to_string(), b.dram_latency.to_string()),
-        ("LCU entries", format!("{}+2", a.lcu_entries), format!("{}+2", b.lcu_entries)),
-        ("LCU latency (cy)", a.lcu_latency.to_string(), b.lcu_latency.to_string()),
+        (
+            "L1 latency (cy)",
+            a.l1_latency.to_string(),
+            b.l1_latency.to_string(),
+        ),
+        (
+            "dir/L2 latency (cy)",
+            a.dir_latency.to_string(),
+            b.dir_latency.to_string(),
+        ),
+        (
+            "DRAM latency (cy)",
+            a.dram_latency.to_string(),
+            b.dram_latency.to_string(),
+        ),
+        (
+            "LCU entries",
+            format!("{}+2", a.lcu_entries),
+            format!("{}+2", b.lcu_entries),
+        ),
+        (
+            "LCU latency (cy)",
+            a.lcu_latency.to_string(),
+            b.lcu_latency.to_string(),
+        ),
         ("LRTs", a.n_mems().to_string(), b.n_mems().to_string()),
-        ("LRT entries", a.lrt_entries.to_string(), b.lrt_entries.to_string()),
-        ("LRT latency (cy)", a.lrt_latency.to_string(), b.lrt_latency.to_string()),
+        (
+            "LRT entries",
+            a.lrt_entries.to_string(),
+            b.lrt_entries.to_string(),
+        ),
+        (
+            "LRT latency (cy)",
+            a.lrt_latency.to_string(),
+            b.lrt_latency.to_string(),
+        ),
     ];
     for (k, va, vb) in rows {
         t.push(vec![k.into(), va, vb]);
@@ -70,8 +175,11 @@ pub fn fig9() -> Vec<Table> {
     let mut tables = Vec::new();
     for model in [ModelSel::A, ModelSel::B] {
         let mut t = Table::new(
-            format!("Figure 9{} — CS time (cycles/CS), LCU vs SSB, Model {}",
-                if model == ModelSel::A { 'a' } else { 'b' }, model.label()),
+            format!(
+                "Figure 9{} — CS time (cycles/CS), LCU vs SSB, Model {}",
+                if model == ModelSel::A { 'a' } else { 'b' },
+                model.label()
+            ),
             &["backend", "write%", "4", "8", "16", "24", "32"],
         );
         for backend in [BackendKind::Lcu, BackendKind::Ssb] {
@@ -96,8 +204,11 @@ pub fn fig10() -> Vec<Table> {
     let mut tables = Vec::new();
     for model in [ModelSel::A, ModelSel::B] {
         let mut t = Table::new(
-            format!("Figure 10{} — CS time (cycles/CS), LCU vs software locks, Model {}",
-                if model == ModelSel::A { 'a' } else { 'b' }, model.label()),
+            format!(
+                "Figure 10{} — CS time (cycles/CS), LCU vs software locks, Model {}",
+                if model == ModelSel::A { 'a' } else { 'b' },
+                model.label()
+            ),
             &["backend", "write%", "4", "8", "16", "32", "40", "48"],
         );
         let series: Vec<(BackendKind, u32)> = vec![
@@ -123,31 +234,62 @@ pub fn fig10() -> Vec<Table> {
 }
 
 /// Figure 11: STM scalability on the RB-tree (2^8 nodes, 75% read-only)
-/// plus the transaction cycle dissection.
+/// plus the machine-level cycle dissection at 16 threads.
 pub fn fig11() -> Vec<Table> {
     let txns_total = scaled(3_000, 400);
     let mut scal = Table::new(
         "Figure 11 — RB-tree 2^8, 75% reads: cycles/transaction vs threads (Model A)",
         &["variant", "1", "2", "4", "8", "16", "32"],
     );
+    // The dissection comes from the machine's per-thread cycle accounting
+    // (every simulated cycle lands in exactly one bucket), aggregated over
+    // the 16 threads: the six bucket columns sum to `total`, which is the
+    // sum of the threads' simulated lifetimes.
     let mut dissect = Table::new(
-        "Figure 11 (dissection) — per-transaction cycles at 16 threads",
-        &["variant", "search", "commit", "other", "total", "aborts/commit"],
+        "Figure 11 (dissection) — cycle dissection at 16 threads (cycles summed over threads)",
+        &[
+            "variant",
+            "compute",
+            "memory",
+            "lock acquire",
+            "lock hold",
+            "lock release",
+            "preempted",
+            "total",
+            "aborts/commit",
+        ],
     );
-    for variant in [StmVariant::SwOnly, StmVariant::Lcu, StmVariant::Fraser, StmVariant::Ssb] {
+    for variant in [
+        StmVariant::SwOnly,
+        StmVariant::Lcu,
+        StmVariant::Fraser,
+        StmVariant::Ssb,
+    ] {
         let mut row = vec![variant.label().to_string()];
         for threads in [1usize, 2, 4, 8, 16, 32] {
             let per_thread = (txns_total / threads as u64).max(10) as u32;
-            let r = run_stm(ModelSel::A, variant, StructSel::Rb, 256, threads, per_thread, 75, 42);
+            let r = run_stm(
+                ModelSel::A,
+                variant,
+                StructSel::Rb,
+                256,
+                threads,
+                per_thread,
+                75,
+                42,
+            );
             row.push(f1(r.cycles_per_tx));
             if threads == 16 {
-                let other = (r.cycles_per_tx - r.read_cycles_per_tx - r.commit_cycles_per_tx).max(0.0);
+                let d = r.dissection;
                 dissect.push(vec![
                     variant.label().to_string(),
-                    f1(r.read_cycles_per_tx),
-                    f1(r.commit_cycles_per_tx),
-                    f1(other),
-                    f1(r.cycles_per_tx),
+                    d.compute.to_string(),
+                    d.memory.to_string(),
+                    d.lock_acquire.to_string(),
+                    d.lock_hold.to_string(),
+                    d.lock_release.to_string(),
+                    d.preempted.to_string(),
+                    d.total().to_string(),
                     format!("{:.2}", r.abort_ratio),
                 ]);
             }
@@ -163,7 +305,15 @@ pub fn fig12() -> Vec<Table> {
     let txns_per_thread = scaled(100, 25) as u32;
     let mut t = Table::new(
         "Figure 12 — cycles/transaction, 16 threads, 75% reads (Model A)",
-        &["structure", "max nodes", "sw-only", "lcu", "fraser", "ssb", "lcu speedup vs sw-only"],
+        &[
+            "structure",
+            "max nodes",
+            "sw-only",
+            "lcu",
+            "fraser",
+            "ssb",
+            "lcu speedup vs sw-only",
+        ],
     );
     // The skip list runs at 2^13 keys: its sw-only variant is ~20x more
     // expensive per transaction than the RB tree under reader congestion,
@@ -176,7 +326,12 @@ pub fn fig12() -> Vec<Table> {
     ];
     for (st, nodes) in configs {
         let mut vals = Vec::new();
-        for variant in [StmVariant::SwOnly, StmVariant::Lcu, StmVariant::Fraser, StmVariant::Ssb] {
+        for variant in [
+            StmVariant::SwOnly,
+            StmVariant::Lcu,
+            StmVariant::Fraser,
+            StmVariant::Ssb,
+        ] {
             eprintln!("  fig12: {} / {} ...", st.label(), variant.label());
             let r = run_stm(ModelSel::A, variant, st, nodes, 16, txns_per_thread, 75, 42);
             vals.push(r.cycles_per_tx);
@@ -199,7 +354,15 @@ pub fn fig13() -> Vec<Table> {
     let reps = scaled(5, 2);
     let mut t = Table::new(
         "Figure 13 — application execution time (cycles, mean ± 95% CI); lcu+flt = §IV-C extension",
-        &["app", "threads", "posix", "lcu", "lcu+flt", "ssb", "lcu speedup vs posix"],
+        &[
+            "app",
+            "threads",
+            "posix",
+            "lcu",
+            "lcu+flt",
+            "ssb",
+            "lcu speedup vs posix",
+        ],
     );
     for app in [AppSel::Fluidanimate, AppSel::Cholesky, AppSel::Radiosity] {
         let mut means = Vec::new();
@@ -228,7 +391,13 @@ pub fn fairness() -> Vec<Table> {
     let iters = scaled(20_000, 2_000);
     let mut t = Table::new(
         "Fairness — Jain's index of per-thread CS throughput (1.0 = perfectly fair)",
-        &["backend", "write%", "16 threads (A)", "32 threads (A)", "32 threads (B)"],
+        &[
+            "backend",
+            "write%",
+            "16 threads (A)",
+            "32 threads (A)",
+            "32 threads (B)",
+        ],
     );
     let series: Vec<(BackendKind, u32)> = vec![
         (BackendKind::Lcu, 100),
@@ -274,10 +443,13 @@ pub fn messages() -> Vec<Table> {
     for b in backends {
         let r = run_microbench(ModelSel::A, b, 16, 100, iters, 42);
         let n = iters as f64;
+        // Message classes come straight from the metrics registry: every
+        // network send is counted at the machine's single send path.
+        let c = &r.metrics.counters;
         t.push(vec![
             b.label().into(),
-            format!("{:.1}", r.counters.get("net_control_msgs") as f64 / n),
-            format!("{:.1}", r.counters.get("net_data_msgs") as f64 / n),
+            format!("{:.1}", c.get("net_control_msgs") as f64 / n),
+            format!("{:.1}", c.get("net_data_msgs") as f64 / n),
             f1(r.cycles_per_cs),
         ]);
     }
@@ -295,8 +467,10 @@ pub fn summary() -> Vec<Table> {
     let mut lcu_sum = 0.0;
     let mut ssb_sum = 0.0;
     for threads in [4usize, 8, 16, 24, 32] {
-        lcu_sum += run_microbench(ModelSel::A, BackendKind::Lcu, threads, 100, iters, 42).cycles_per_cs;
-        ssb_sum += run_microbench(ModelSel::A, BackendKind::Ssb, threads, 100, iters, 42).cycles_per_cs;
+        lcu_sum +=
+            run_microbench(ModelSel::A, BackendKind::Lcu, threads, 100, iters, 42).cycles_per_cs;
+        ssb_sum +=
+            run_microbench(ModelSel::A, BackendKind::Ssb, threads, 100, iters, 42).cycles_per_cs;
     }
     t.push(vec![
         "LCU CS time vs SSB (Model A, 100% writes)".into(),
@@ -306,7 +480,10 @@ pub fn summary() -> Vec<Table> {
     // vs MCS.
     let mcs: f64 = [8usize, 16, 32]
         .iter()
-        .map(|&n| run_microbench(ModelSel::A, BackendKind::Sw(SwAlg::Mcs), n, 100, iters, 42).cycles_per_cs)
+        .map(|&n| {
+            run_microbench(ModelSel::A, BackendKind::Sw(SwAlg::Mcs), n, 100, iters, 42)
+                .cycles_per_cs
+        })
         .sum();
     let lcu: f64 = [8usize, 16, 32]
         .iter()
@@ -321,7 +498,10 @@ pub fn summary() -> Vec<Table> {
     // "75% read case").
     let mrsw: f64 = [8usize, 16, 32]
         .iter()
-        .map(|&n| run_microbench(ModelSel::A, BackendKind::Sw(SwAlg::Mrsw), n, 25, iters, 42).cycles_per_cs)
+        .map(|&n| {
+            run_microbench(ModelSel::A, BackendKind::Sw(SwAlg::Mrsw), n, 25, iters, 42)
+                .cycles_per_cs
+        })
         .sum();
     let lcu_r: f64 = [8usize, 16, 32]
         .iter()
@@ -335,8 +515,26 @@ pub fn summary() -> Vec<Table> {
     // STM speedup (fig12 RB).
     let nodes = scaled(1 << 15, 1 << 10);
     let tx = scaled(150, 25) as u32;
-    let sw = run_stm(ModelSel::A, StmVariant::SwOnly, StructSel::Rb, nodes, 16, tx, 75, 42);
-    let lc = run_stm(ModelSel::A, StmVariant::Lcu, StructSel::Rb, nodes, 16, tx, 75, 42);
+    let sw = run_stm(
+        ModelSel::A,
+        StmVariant::SwOnly,
+        StructSel::Rb,
+        nodes,
+        16,
+        tx,
+        75,
+        42,
+    );
+    let lc = run_stm(
+        ModelSel::A,
+        StmVariant::Lcu,
+        StructSel::Rb,
+        nodes,
+        16,
+        tx,
+        75,
+        42,
+    );
     t.push(vec![
         "STM RB-tree speedup (LCU vs sw-only, 16T, 75% reads)".into(),
         "1.5x - 3.4x".into(),

@@ -9,8 +9,14 @@
 //! cargo run --release -p locksim-harness --bin fig9
 //! cargo run --release -p locksim-harness --bin all
 //! ```
+//!
+//! Every binary accepts `--trace <path>` (plus `--trace-cap <records>`),
+//! which captures the first simulated run as Chrome trace-event JSON for
+//! Perfetto / `chrome://tracing`, and appends a metrics-registry section
+//! to the markdown output and `results/` CSVs.
 
 pub mod figs;
+pub mod obs;
 pub mod run;
 pub mod table;
 
@@ -31,7 +37,30 @@ pub fn emit(name: &str, tables: &[Table]) {
     let dir = Path::new("results");
     for (i, t) in tables.iter().enumerate() {
         println!("{}", t.markdown());
-        let suffix = if tables.len() > 1 { format!("{name}_{i}") } else { name.to_string() };
+        let suffix = if tables.len() > 1 {
+            format!("{name}_{i}")
+        } else {
+            name.to_string()
+        };
         t.save_csv(dir, &suffix).expect("write results csv");
+    }
+}
+
+/// Entry point shared by the figure binaries: parses observability flags
+/// (`--trace <path>`, `--trace-cap <records>`), regenerates the figure,
+/// emits its tables, and appends the metrics section collected from the
+/// figure's runs (printed as markdown, saved as `results/<name>_metrics.csv`).
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be written.
+pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Table>) {
+    obs::init_from_args();
+    let tables = f();
+    emit(name, &tables);
+    if let Some(t) = obs::take_metrics_table(name) {
+        println!("{}", t.markdown());
+        t.save_csv(Path::new("results"), &format!("{name}_metrics"))
+            .expect("write metrics csv");
     }
 }

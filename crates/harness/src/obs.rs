@@ -1,0 +1,223 @@
+//! Harness-side observability: the `--trace <path>` CLI flag and the
+//! per-figure metrics accumulation behind the emitted "Metrics" sections.
+//!
+//! Every experiment executor in [`crate::run`] arms the world before the
+//! run ([`arm`]) and reports it afterwards ([`observe`]). When `--trace`
+//! was given, the first simulated run of the process is captured into the
+//! machine's trace ring and exported as Chrome trace-event JSON (loadable
+//! in Perfetto or `chrome://tracing`); every run additionally contributes
+//! its end-of-run [`MetricsSnapshot`] to a per-series table that
+//! [`crate::run_bin`] prints and saves next to the figure CSVs.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use locksim_machine::{MetricsSnapshot, World};
+
+use crate::table::Table;
+
+/// Default `--trace` ring capacity (records kept; oldest are dropped).
+const DEFAULT_TRACE_CAP: usize = 200_000;
+
+struct Obs {
+    trace_path: Option<PathBuf>,
+    trace_cap: usize,
+    /// A trace has been exported; later runs are left uninstrumented.
+    captured: bool,
+    /// Per-series (backend/variant label): run count and last snapshot.
+    metrics: BTreeMap<String, (u64, MetricsSnapshot)>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            trace_path: None,
+            trace_cap: DEFAULT_TRACE_CAP,
+            captured: false,
+            metrics: BTreeMap::new(),
+        }
+    }
+}
+
+thread_local! {
+    static OBS: RefCell<Obs> = RefCell::new(Obs::default());
+}
+
+/// Parsed harness CLI options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CliOpts {
+    /// Write a Chrome trace of the first run here.
+    pub trace_path: Option<PathBuf>,
+    /// Override the trace ring capacity.
+    pub trace_cap: Option<usize>,
+}
+
+/// Parses `--trace <path>` and `--trace-cap <records>` from an argument
+/// list (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on an unknown flag or a missing/invalid value.
+pub fn parse_cli(args: &[String]) -> Result<CliOpts, String> {
+    let mut opts = CliOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                let v = it.next().ok_or("--trace requires a file path")?;
+                opts.trace_path = Some(PathBuf::from(v));
+            }
+            "--trace-cap" => {
+                let v = it.next().ok_or("--trace-cap requires a record count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--trace-cap: invalid count {v:?}"))?;
+                opts.trace_cap = Some(n.max(1));
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (supported: --trace <path>, --trace-cap <records>)"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Applies process arguments to the observability state. Exits with a
+/// usage message on bad arguments. Safe to call more than once (the `all`
+/// binary calls it per figure); an already-captured trace is not redone.
+pub fn init_from_args() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_cli(&args) {
+        Ok(opts) => OBS.with(|o| {
+            let mut o = o.borrow_mut();
+            o.trace_path = opts.trace_path;
+            if let Some(cap) = opts.trace_cap {
+                o.trace_cap = cap;
+            }
+        }),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Enables tracing on a freshly built world when a `--trace` capture is
+/// still pending. Runs execute sequentially, so at most one world is armed
+/// at a time.
+pub(crate) fn arm(w: &mut World) {
+    OBS.with(|o| {
+        let o = o.borrow();
+        if o.trace_path.is_some() && !o.captured {
+            w.enable_trace(o.trace_cap);
+        }
+    });
+}
+
+/// Reports a finished run: exports the pending trace capture (if this was
+/// the armed run) and records the run's metrics snapshot under `label`.
+pub(crate) fn observe(label: &str, w: &World) {
+    let snap = w.metrics_snapshot();
+    OBS.with(|o| {
+        let mut o = o.borrow_mut();
+        if !o.captured && w.mach_ref().tracer().is_enabled() {
+            if let Some(path) = o.trace_path.clone() {
+                let tracer = w.mach_ref().tracer();
+                let file = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| panic!("create trace file {}: {e}", path.display()));
+                let mut buf = std::io::BufWriter::new(file);
+                tracer.export_chrome(&mut buf).expect("write chrome trace");
+                eprintln!(
+                    "trace: wrote {} records ({} dropped) for series `{label}` to {}",
+                    tracer.len(),
+                    tracer.dropped(),
+                    path.display()
+                );
+                o.captured = true;
+            }
+        }
+        let entry = o
+            .metrics
+            .entry(label.to_string())
+            .or_insert_with(|| (0, snap.clone()));
+        entry.0 += 1;
+        entry.1 = snap;
+    });
+}
+
+/// Drains the accumulated per-series metrics into a table (one row per
+/// counter / histogram), or `None` when no instrumented run happened.
+pub(crate) fn take_metrics_table(name: &str) -> Option<Table> {
+    OBS.with(|o| {
+        let mut o = o.borrow_mut();
+        if o.metrics.is_empty() {
+            return None;
+        }
+        let mut t = Table::new(
+            format!("Metrics — {name} (registry snapshot of each series' last run)"),
+            &["series", "runs", "metric", "value"],
+        );
+        for (label, (runs, snap)) in std::mem::take(&mut o.metrics) {
+            for (cname, v) in snap.counters.iter() {
+                t.push(vec![
+                    label.clone(),
+                    runs.to_string(),
+                    format!("counter {cname}"),
+                    v.to_string(),
+                ]);
+            }
+            for h in &snap.hists {
+                t.push(vec![
+                    label.clone(),
+                    runs.to_string(),
+                    format!("hist {}", h.name),
+                    format!(
+                        "count {} p50 {} p95 {} p99 {}",
+                        h.count, h.p50, h.p95, h.p99
+                    ),
+                ]);
+            }
+        }
+        Some(t)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_trace_flag() {
+        let o = parse_cli(&args(&["--trace", "out.json"])).unwrap();
+        assert_eq!(o.trace_path, Some(PathBuf::from("out.json")));
+        assert_eq!(o.trace_cap, None);
+    }
+
+    #[test]
+    fn parse_trace_cap() {
+        let o = parse_cli(&args(&["--trace", "t.json", "--trace-cap", "512"])).unwrap();
+        assert_eq!(o.trace_cap, Some(512));
+        // Zero is clamped to a one-record ring rather than rejected.
+        let o = parse_cli(&args(&["--trace-cap", "0"])).unwrap();
+        assert_eq!(o.trace_cap, Some(1));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_missing() {
+        assert!(parse_cli(&args(&["--frobnicate"])).is_err());
+        assert!(parse_cli(&args(&["--trace"])).is_err());
+        assert!(parse_cli(&args(&["--trace-cap", "many"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_are_fine() {
+        assert_eq!(parse_cli(&[]).unwrap(), CliOpts::default());
+    }
+}

@@ -4,18 +4,21 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use locksim_core::LcuBackend;
-use locksim_engine::stats::Counters;
 use locksim_engine::Time;
-use locksim_machine::{Alloc, IdealBackend, LockBackend, MachineConfig, ThreadId, World};
+use locksim_machine::{
+    Alloc, CycleDissection, IdealBackend, LockBackend, MachineConfig, MetricsSnapshot, ThreadId,
+    World,
+};
 use locksim_ssb::SsbBackend;
 use locksim_stm::{
-    HashTable, ObjectSpace, Op, RbTree, SkipList, StmKind, TxShared, TxStats, TxStructure,
-    TxThread,
+    HashTable, ObjectSpace, Op, RbTree, SkipList, StmKind, TxShared, TxStats, TxStructure, TxThread,
 };
 use locksim_swlocks::{SwAlg, SwLockBackend};
 use locksim_workloads::{
     CholeskyThread, CsThread, FluidConfig, FluidGrid, FluidThread, IterPool, RadiosityThread,
 };
+
+use crate::obs;
 
 /// Which machine model to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,8 +93,9 @@ pub struct MicroResult {
     pub cycles_per_cs: f64,
     /// Total simulated cycles.
     pub total_cycles: u64,
-    /// Merged counters.
-    pub counters: Counters,
+    /// End-of-run metrics registry snapshot (counters merged from the
+    /// machine, backend, directories, and network, plus latency histograms).
+    pub metrics: MetricsSnapshot,
     /// Per-thread critical sections completed (for fairness analysis).
     pub per_thread_acquires: Vec<u64>,
 }
@@ -125,6 +129,7 @@ pub fn run_microbench(
         cfg.flt_entries = 4;
     }
     let mut w = World::new(cfg, backend.build(), seed);
+    obs::arm(&mut w);
     let lock = w.mach().alloc().alloc_line();
     let data = w.mach().alloc().alloc_line();
     let pool = IterPool::new(total_iters);
@@ -132,6 +137,7 @@ pub fn run_microbench(
         w.spawn(Box::new(CsThread::new(lock, data, pool.clone(), write_pct)));
     }
     w.run_to_completion();
+    obs::observe(backend.label(), &w);
     let total = w.mach().now().cycles();
     let per_thread_acquires = (0..threads as u32)
         .map(|i| w.mach().thread_stats(ThreadId(i)).acquires)
@@ -139,7 +145,7 @@ pub fn run_microbench(
     MicroResult {
         cycles_per_cs: total as f64 / total_iters as f64,
         total_cycles: total,
-        counters: w.report_counters(),
+        metrics: w.metrics_snapshot(),
         per_thread_acquires,
     }
 }
@@ -219,6 +225,9 @@ pub struct StmResult {
     pub commit_cycles_per_tx: f64,
     /// Aborts per commit.
     pub abort_ratio: f64,
+    /// Machine-level cycle dissection summed over all threads; the six
+    /// buckets sum to the aggregate simulated thread lifetime.
+    pub dissection: CycleDissection,
 }
 
 /// Runs the STM benchmark (Figures 11/12).
@@ -234,6 +243,7 @@ pub fn run_stm(
     seed: u64,
 ) -> StmResult {
     let mut w = World::new(model.config(), variant.backend().build(), seed);
+    obs::arm(&mut w);
     let mut alloc = Alloc::starting_at(1 << 40);
     let mut space = ObjectSpace::new();
     let mut st: Box<dyn TxStructure> = match structure {
@@ -248,7 +258,12 @@ pub fn run_stm(
     let mut lvl_seed = seed | 1;
     for i in 0..max_nodes / 2 {
         lvl_seed = lvl_seed.rotate_left(7).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        st.perform(&mut space, &mut alloc, Op::Insert((i * 2) % max_nodes), (lvl_seed % 4) + 1);
+        st.perform(
+            &mut space,
+            &mut alloc,
+            Op::Insert((i * 2) % max_nodes),
+            (lvl_seed % 4) + 1,
+        );
     }
     let shared = TxShared::new(st, space, alloc);
     let stats = Rc::new(RefCell::new(TxStats::default()));
@@ -263,6 +278,11 @@ pub fn run_stm(
         )));
     }
     w.run_to_completion();
+    obs::observe(variant.label(), &w);
+    let mut dissection = CycleDissection::default();
+    for t in 0..threads as u32 {
+        dissection.merge(&w.thread_dissection(ThreadId(t)));
+    }
     let s = *stats.borrow();
     let commits = s.commits.max(1) as f64;
     StmResult {
@@ -270,6 +290,7 @@ pub fn run_stm(
         read_cycles_per_tx: s.read_cycles as f64 / commits,
         commit_cycles_per_tx: s.commit_cycles as f64 / commits,
         abort_ratio: s.aborts as f64 / commits,
+        dissection,
     }
 }
 
@@ -310,6 +331,7 @@ pub fn run_app(app: AppSel, backend: BackendKind, seed: u64) -> u64 {
         cfg.flt_entries = 4;
     }
     let mut w = World::new(cfg, backend.build(), seed);
+    obs::arm(&mut w);
     match app {
         AppSel::Fluidanimate => {
             let cfg = FluidConfig::default();
@@ -344,6 +366,7 @@ pub fn run_app(app: AppSel, backend: BackendKind, seed: u64) -> u64 {
         }
     }
     w.run_to_completion();
+    obs::observe(backend.label(), &w);
     w.mach().now().cycles()
 }
 
@@ -373,7 +396,11 @@ pub fn scaled(full: u64, q: u64) -> u64 {
 }
 
 /// Runs `reps` repetitions with distinct seeds, collecting a statistic.
-pub fn repeat<F: FnMut(u64) -> f64>(reps: u64, base_seed: u64, mut f: F) -> locksim_engine::stats::Running {
+pub fn repeat<F: FnMut(u64) -> f64>(
+    reps: u64,
+    base_seed: u64,
+    mut f: F,
+) -> locksim_engine::stats::Running {
     let mut r = locksim_engine::stats::Running::new();
     for i in 0..reps {
         r.add(f(base_seed + i * 7919));
@@ -448,7 +475,16 @@ mod tests {
 
     #[test]
     fn stm_smoke() {
-        let r = run_stm(ModelSel::A, StmVariant::Lcu, StructSel::Hash, 64, 2, 5, 50, 1);
+        let r = run_stm(
+            ModelSel::A,
+            StmVariant::Lcu,
+            StructSel::Hash,
+            64,
+            2,
+            5,
+            50,
+            1,
+        );
         assert!(r.cycles_per_tx > 0.0);
     }
 

@@ -6,9 +6,14 @@
 
 use std::collections::HashMap;
 
+use locksim_trace::Tracer;
+
 use crate::addr::Addr;
 use crate::lock::Mode;
 use crate::prog::ThreadId;
+
+/// How many trace records to dump when a violation aborts the run.
+const ABORT_DUMP_RECORDS: usize = 32;
 
 /// Tracks, per lock, the current writer and reader set, and asserts the
 /// reader-writer exclusion invariant on every transition.
@@ -47,33 +52,54 @@ impl Checker {
     ///
     /// Panics if the grant violates reader-writer exclusion.
     pub fn on_grant(&mut self, lock: Addr, t: ThreadId, mode: Mode) {
+        if let Err(msg) = self.try_grant(lock, t, mode) {
+            panic!("{msg}");
+        }
+    }
+
+    /// Records a grant; on a violation, aborts with the last trace records
+    /// touching the violating lock appended to the panic message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grant violates reader-writer exclusion.
+    pub fn on_grant_traced(&mut self, lock: Addr, t: ThreadId, mode: Mode, tracer: &Tracer) {
+        if let Err(msg) = self.try_grant(lock, t, mode) {
+            panic!(
+                "{msg}\n{}",
+                tracer.lock_history_report(lock.0, ABORT_DUMP_RECORDS)
+            );
+        }
+    }
+
+    fn try_grant(&mut self, lock: Addr, t: ThreadId, mode: Mode) -> Result<(), String> {
         self.grants_checked += 1;
+        if let Some(w) = self.writer.get(&lock) {
+            return Err(format!(
+                "exclusion violation: {} grant of {lock} to {t:?} while {w:?} writes",
+                mode_name(mode)
+            ));
+        }
         match mode {
             Mode::Write => {
-                assert!(
-                    self.writer.get(&lock).is_none(),
-                    "exclusion violation: write grant of {lock} to {t:?} while {:?} writes",
-                    self.writer[&lock]
-                );
                 let readers = self.readers.get(&lock).map_or(0, Vec::len);
-                assert!(
-                    readers == 0,
-                    "exclusion violation: write grant of {lock} to {t:?} with {readers} readers"
-                );
+                if readers != 0 {
+                    return Err(format!(
+                        "exclusion violation: write grant of {lock} to {t:?} with {readers} readers"
+                    ));
+                }
                 self.writer.insert(lock, t);
             }
             Mode::Read => {
-                assert!(
-                    self.writer.get(&lock).is_none(),
-                    "exclusion violation: read grant of {lock} to {t:?} while {:?} writes",
-                    self.writer[&lock]
-                );
                 let rs = self.readers.entry(lock).or_default();
-                assert!(!rs.contains(&t), "double read grant of {lock} to {t:?}");
+                if rs.contains(&t) {
+                    return Err(format!("double read grant of {lock} to {t:?}"));
+                }
                 rs.push(t);
                 self.max_concurrent_readers = self.max_concurrent_readers.max(rs.len());
             }
         }
+        Ok(())
     }
 
     /// Records a release.
@@ -82,18 +108,43 @@ impl Checker {
     ///
     /// Panics if the releaser does not hold the lock in `mode`.
     pub fn on_release(&mut self, lock: Addr, t: ThreadId, mode: Mode) {
+        if let Err(msg) = self.try_release(lock, t, mode) {
+            panic!("{msg}");
+        }
+    }
+
+    /// Records a release; on a violation, aborts with the last trace records
+    /// touching the violating lock appended to the panic message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the releaser does not hold the lock in `mode`.
+    pub fn on_release_traced(&mut self, lock: Addr, t: ThreadId, mode: Mode, tracer: &Tracer) {
+        if let Err(msg) = self.try_release(lock, t, mode) {
+            panic!(
+                "{msg}\n{}",
+                tracer.lock_history_report(lock.0, ABORT_DUMP_RECORDS)
+            );
+        }
+    }
+
+    fn try_release(&mut self, lock: Addr, t: ThreadId, mode: Mode) -> Result<(), String> {
         match mode {
-            Mode::Write => {
-                let w = self.writer.remove(&lock);
-                assert_eq!(w, Some(t), "write release of {lock} by non-writer {t:?}");
-            }
+            Mode::Write => match self.writer.remove(&lock) {
+                Some(w) if w == t => Ok(()),
+                w => Err(format!(
+                    "write release of {lock} by non-writer {t:?} (writer: {w:?})"
+                )),
+            },
             Mode::Read => {
-                let rs = self.readers.get_mut(&lock).expect("release of unread lock");
-                let pos = rs
-                    .iter()
-                    .position(|&r| r == t)
-                    .unwrap_or_else(|| panic!("read release of {lock} by non-reader {t:?}"));
+                let Some(rs) = self.readers.get_mut(&lock) else {
+                    return Err(format!("release of unread lock {lock} by {t:?}"));
+                };
+                let Some(pos) = rs.iter().position(|&r| r == t) else {
+                    return Err(format!("read release of {lock} by non-reader {t:?}"));
+                };
                 rs.swap_remove(pos);
+                Ok(())
             }
         }
     }
@@ -107,9 +158,18 @@ impl Checker {
     }
 }
 
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Read => "read",
+        Mode::Write => "write",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use locksim_engine::Time;
+    use locksim_trace::{Ep, TraceEvent, TraceKind};
 
     const L: Addr = Addr(0x40);
 
@@ -164,5 +224,42 @@ mod tests {
         c.on_grant(Addr(2), ThreadId(1), Mode::Write);
         assert_eq!(c.holders(Addr(1)), (1, 0));
         assert_eq!(c.holders(Addr(2)), (1, 0));
+    }
+
+    #[test]
+    fn traced_violation_dumps_lock_history() {
+        let mut tracer = Tracer::new();
+        tracer.enable(16);
+        tracer.record(|| TraceEvent {
+            t: Time::from_cycles(10),
+            ep: Ep::Thread(0),
+            kind: TraceKind::LockGrant {
+                lock: L.0,
+                thread: 0,
+                write: true,
+                wait: 3,
+            },
+        });
+        let mut c = Checker::new();
+        c.on_grant_traced(L, ThreadId(0), Mode::Write, &tracer);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.on_grant_traced(L, ThreadId(1), Mode::Write, &tracer);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("exclusion violation"), "{msg}");
+        assert!(msg.contains("lock_grant"), "history missing from: {msg}");
+    }
+
+    #[test]
+    fn traced_release_violation_reports() {
+        let tracer = Tracer::new(); // disabled: report still renders
+        let mut c = Checker::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.on_release_traced(L, ThreadId(3), Mode::Read, &tracer);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("unread lock"), "{msg}");
     }
 }

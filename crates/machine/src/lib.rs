@@ -29,9 +29,17 @@ mod world;
 
 pub use addr::{home_of, Addr, Alloc, WORDS_PER_LINE};
 pub use checker::Checker;
-pub use locksim_coherence::LineAddr;
 pub use config::{MachineConfig, MachineModel};
 pub use ideal::IdealBackend;
 pub use lock::{LockBackend, Mode};
+pub use locksim_coherence::LineAddr;
 pub use prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
-pub use world::{Ep, Mach, MemKind, RunExit, ThreadStats, World};
+pub use world::{CycleDissection, Ep, Mach, MemKind, RunExit, ThreadStats, World};
+
+// Observability types, re-exported so downstream crates (backends, harness)
+// can emit and consume traces/metrics without depending on `locksim-trace`
+// directly. The trace crate's endpoint enum is re-exported as `TraceEp` to
+// avoid clashing with the machine's own [`Ep`].
+pub use locksim_trace::{
+    Ep as TraceEp, LatencyHist, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceKind, Tracer,
+};

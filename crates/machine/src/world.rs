@@ -5,16 +5,19 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
 use locksim_coherence::{
-    CacheAction, CacheCtrl, CacheId, CacheOpResult, CacheToDir, CpuOp, DirCtrl, DirId, DirToCache,
-    LineAddr,
+    CacheAction, CacheCtrl, CacheId, CacheOpResult, CacheState, CacheToDir, CpuOp, DirCtrl, DirId,
+    DirToCache, LineAddr,
 };
 use locksim_engine::stats::Counters;
 use locksim_engine::{Cycles, RngStream, Simulator, Time};
 use locksim_topo::{MsgClass, Network, NodeId};
+use locksim_trace::{
+    Ep as TraceEp, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceKind, Tracer,
+};
 
 use crate::addr::{home_of, Addr, Alloc};
 use crate::config::MachineConfig;
-use crate::lock::LockBackend;
+use crate::lock::{LockBackend, Mode};
 use crate::prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
 
 /// A memory operation kind carried through the memory system.
@@ -26,6 +29,15 @@ pub enum MemKind {
     Store(u64),
     /// Atomic read-modify-write.
     Rmw(RmwOp),
+}
+
+fn cache_state_name(s: CacheState) -> &'static str {
+    match s {
+        CacheState::I => "I",
+        CacheState::S => "S",
+        CacheState::E => "E",
+        CacheState::M => "M",
+    }
 }
 
 impl MemKind {
@@ -52,6 +64,9 @@ struct PendingMem {
     addr: Addr,
     kind: MemKind,
     issuer: MemIssuer,
+    /// When the op was issued — end-to-end latency lands in the
+    /// `mem_op_cycles` histogram at completion.
+    issued: Time,
     /// Value effect already applied at the directory's serialization point;
     /// the completion returns this instead of re-sampling memory.
     result: Option<u64>,
@@ -90,6 +105,76 @@ enum Ev {
     WakeNow(ThreadId, LineAddr),
 }
 
+/// Where a thread's simulated cycles went. Every cycle from spawn to
+/// finish lands in exactly one bucket, so the buckets sum to the thread's
+/// lifetime (see [`Mach::thread_dissection`]).
+///
+/// Bucket semantics: `preempted` wins whenever the thread is off-core
+/// (ready queue or mid context switch), regardless of what it was doing;
+/// on-core cycles inside a critical section (any lock held) are `lock_hold`
+/// whether computing or waiting on memory; `lock_acquire` / `lock_release`
+/// are on-core waits for the backend to grant / finish a release; `compute`
+/// and `memory` are on-core work outside any critical section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleDissection {
+    /// On-core compute outside any critical section.
+    pub compute: Cycles,
+    /// On-core memory-operation stalls outside any critical section.
+    pub memory: Cycles,
+    /// On-core cycles waiting for a lock grant.
+    pub lock_acquire: Cycles,
+    /// On-core cycles inside a critical section (≥1 lock held).
+    pub lock_hold: Cycles,
+    /// On-core cycles completing a release.
+    pub lock_release: Cycles,
+    /// Off-core cycles: ready queue, context switches, suspension.
+    pub preempted: Cycles,
+}
+
+impl CycleDissection {
+    /// Sum of all buckets — the thread's accounted lifetime.
+    pub fn total(&self) -> Cycles {
+        self.compute
+            + self.memory
+            + self.lock_acquire
+            + self.lock_hold
+            + self.lock_release
+            + self.preempted
+    }
+
+    fn add(&mut self, cat: CycleCat, c: Cycles) {
+        match cat {
+            CycleCat::Compute => self.compute += c,
+            CycleCat::Memory => self.memory += c,
+            CycleCat::LockAcquire => self.lock_acquire += c,
+            CycleCat::LockHold => self.lock_hold += c,
+            CycleCat::LockRelease => self.lock_release += c,
+            CycleCat::Preempted => self.preempted += c,
+        }
+    }
+
+    /// Folds another dissection into this one (for machine-wide totals).
+    pub fn merge(&mut self, other: &CycleDissection) {
+        self.compute += other.compute;
+        self.memory += other.memory;
+        self.lock_acquire += other.lock_acquire;
+        self.lock_hold += other.lock_hold;
+        self.lock_release += other.lock_release;
+        self.preempted += other.preempted;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum CycleCat {
+    Compute,
+    Memory,
+    LockAcquire,
+    LockHold,
+    LockRelease,
+    #[default]
+    Preempted,
+}
+
 /// Per-thread machine-level statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadStats {
@@ -120,6 +205,15 @@ struct ThreadState {
     deferred_mem: VecDeque<(Addr, MemKind)>,
     stats: ThreadStats,
     waiting_since: Option<Time>,
+    /// The lock and mode of the outstanding acquire, if any.
+    waiting_on: Option<(Addr, Mode)>,
+    /// Locks currently held, with grant times (for hold-time accounting).
+    holding: Vec<(Addr, Time)>,
+    /// Current cycle-accounting category and the time it was entered.
+    acct_cat: CycleCat,
+    acct_since: Time,
+    dissect: CycleDissection,
+    finished_at: Option<Time>,
     /// End time of an in-progress Compute action, if any.
     computing: Option<Time>,
     /// Compute cycles left over after a mid-compute preemption.
@@ -168,7 +262,8 @@ pub struct Mach {
     wire_payloads: HashMap<u64, Box<dyn Any>>,
     wire_seq: u64,
     alloc: Alloc,
-    counters: Counters,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
     seed: u64,
     next_stream: u64,
     alive: usize,
@@ -236,7 +331,74 @@ impl Mach {
 
     /// Global machine counters (mutable for backends).
     pub fn counters_mut(&mut self) -> &mut Counters {
-        &mut self.counters
+        self.metrics.counters_mut()
+    }
+
+    /// The metrics registry (counters plus latency histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable metrics access for backends recording their own histograms.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The structured event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (enable/disable, export).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Records a trace event stamped with the current simulated time. The
+    /// closure only runs when tracing is enabled.
+    #[inline]
+    pub fn trace(&mut self, f: impl FnOnce(Time) -> TraceEvent) {
+        let now = self.sim.now();
+        self.tracer.record(|| f(now));
+    }
+
+    /// Backend hook for LCU/LRT/SSB entry state-change records.
+    #[inline]
+    pub fn trace_entry_state(&mut self, ep: Ep, lock: Addr, state: &'static str) {
+        let now = self.sim.now();
+        self.tracer.record(|| TraceEvent {
+            t: now,
+            ep: match ep {
+                Ep::Core(c) => TraceEp::Core(c as u32),
+                Ep::Mem(m) => TraceEp::Dir(m as u32),
+            },
+            kind: TraceKind::EntryState {
+                lock: lock.0,
+                state,
+            },
+        });
+    }
+
+    /// Flushes the current accounting period of thread `ti` into its
+    /// dissection and switches to category `new`.
+    fn acct_switch(&mut self, ti: usize, new: CycleCat) {
+        let now = self.sim.now();
+        let th = &mut self.threads[ti];
+        th.dissect
+            .add(th.acct_cat, now.saturating_since(th.acct_since));
+        th.acct_since = now;
+        th.acct_cat = new;
+    }
+
+    /// Thread `t`'s cycle dissection, accounted up to now (or up to its
+    /// finish time if it is done). Buckets sum to the thread's lifetime.
+    pub fn thread_dissection(&self, t: ThreadId) -> CycleDissection {
+        let th = &self.threads[t.0 as usize];
+        let mut d = th.dissect;
+        if th.finished_at.is_none() {
+            d.add(th.acct_cat, self.sim.now().saturating_since(th.acct_since));
+        }
+        d
     }
 
     /// Allocates simulated memory (delegates to [`Alloc`]).
@@ -275,9 +437,30 @@ impl Mach {
             .waiting_since
             .take()
             .expect("grant_lock without outstanding acquire");
+        let granted_at = self.sim.now() + delay;
+        let wait = granted_at - since;
         self.threads[ti].stats.acquires += 1;
-        self.threads[ti].stats.wait_cycles += (self.sim.now() + delay) - since;
-        self.counters.incr("locks_granted");
+        self.threads[ti].stats.wait_cycles += wait;
+        self.metrics.incr("locks_granted");
+        self.metrics.observe("lock_wait_cycles", wait);
+        if let Some((lock, mode)) = self.threads[ti].waiting_on.take() {
+            self.threads[ti].holding.push((lock, granted_at));
+            self.tracer.record(|| TraceEvent {
+                t: granted_at,
+                ep: TraceEp::Thread(t.0),
+                kind: TraceKind::LockGrant {
+                    lock: lock.0,
+                    thread: t.0,
+                    write: mode == Mode::Write,
+                    wait,
+                },
+            });
+        }
+        // The grant ends the acquire period; if the thread is off-core
+        // (suspension backends) it stays in `preempted` until rescheduled.
+        if self.threads[ti].core.is_some() {
+            self.acct_switch(ti, CycleCat::LockHold);
+        }
         self.sched_resume(t, Outcome::Granted, delay);
     }
 
@@ -294,7 +477,18 @@ impl Mach {
             .expect("fail_lock without outstanding acquire");
         self.threads[ti].stats.fails += 1;
         self.threads[ti].stats.wait_cycles += (self.sim.now() + delay) - since;
-        self.counters.incr("locks_failed");
+        self.metrics.incr("locks_failed");
+        if let Some((lock, _)) = self.threads[ti].waiting_on.take() {
+            let now = self.sim.now();
+            self.tracer.record(|| TraceEvent {
+                t: now,
+                ep: TraceEp::Thread(t.0),
+                kind: TraceKind::LockFail {
+                    lock: lock.0,
+                    thread: t.0,
+                },
+            });
+        }
         self.sched_resume(t, Outcome::Failed, delay);
     }
 
@@ -309,15 +503,7 @@ impl Mach {
     ///
     /// Panics if `t` has no acquire outstanding.
     pub fn grant_lock(&mut self, t: ThreadId) {
-        let ti = t.0 as usize;
-        let since = self.threads[ti]
-            .waiting_since
-            .take()
-            .expect("grant_lock without outstanding acquire");
-        self.threads[ti].stats.acquires += 1;
-        self.threads[ti].stats.wait_cycles += self.sim.now() - since;
-        self.counters.incr("locks_granted");
-        self.sched_resume(t, Outcome::Granted, 0);
+        self.grant_lock_in(t, 0);
     }
 
     /// Fails thread `t`'s outstanding trylock.
@@ -326,15 +512,7 @@ impl Mach {
     ///
     /// Panics if `t` has no acquire outstanding.
     pub fn fail_lock(&mut self, t: ThreadId) {
-        let ti = t.0 as usize;
-        let since = self.threads[ti]
-            .waiting_since
-            .take()
-            .expect("fail_lock without outstanding acquire");
-        self.threads[ti].stats.fails += 1;
-        self.threads[ti].stats.wait_cycles += self.sim.now() - since;
-        self.counters.incr("locks_failed");
-        self.sched_resume(t, Outcome::Failed, 0);
+        self.fail_lock_in(t, 0);
     }
 
     /// Completes thread `t`'s outstanding release.
@@ -364,13 +542,36 @@ impl Mach {
         let arrival = if s == d {
             now + extra + 1
         } else {
-            self.net.send(now + extra, s, d, class)
+            self.net_send(now + extra, s, d, class)
         };
         let id = self.wire_seq;
         self.wire_seq += 1;
         self.wire_payloads.insert(id, payload);
-        self.counters.incr("backend_wire_msgs");
+        self.metrics.incr("backend_wire_msgs");
         self.sim.schedule_at(arrival, Ev::Wire(id));
+    }
+
+    /// Sends on the network, counting the message class and recording a
+    /// trace record on the link track. All machine traffic goes through
+    /// here so the `net_*` counters and the trace agree by construction.
+    fn net_send(&mut self, t0: Time, src: NodeId, dst: NodeId, class: MsgClass) -> Time {
+        self.metrics.incr(match class {
+            MsgClass::Control => "net_control_msgs",
+            MsgClass::Data => "net_data_msgs",
+        });
+        self.tracer.record(|| TraceEvent {
+            t: t0,
+            ep: TraceEp::Link(src.index() as u16, dst.index() as u16),
+            kind: TraceKind::MsgSend {
+                class: match class {
+                    MsgClass::Control => "control",
+                    MsgClass::Data => "data",
+                },
+                from: src.index() as u16,
+                to: dst.index() as u16,
+            },
+        });
+        self.net.send(t0, src, dst, class)
     }
 
     /// Arms a one-shot backend timer; [`LockBackend::on_timer`] receives
@@ -401,16 +602,24 @@ impl Mach {
     /// would miss and refetch.
     pub fn watch_line(&mut self, t: ThreadId, line: LineAddr) {
         if self.dbg.watch_line == Some(line.0) {
-            eprintln!("[{}] watch_line t={:?} core={:?} state={:?}", self.sim.now(), t, self.threads[t.0 as usize].core, self.threads[t.0 as usize].core.map(|c| self.caches[c.0 as usize].state(line)));
+            eprintln!(
+                "[{}] watch_line t={:?} core={:?} state={:?}",
+                self.sim.now(),
+                t,
+                self.threads[t.0 as usize].core,
+                self.threads[t.0 as usize]
+                    .core
+                    .map(|c| self.caches[c.0 as usize].state(line))
+            );
         }
-        
+
         let Some(core) = self.threads[t.0 as usize].core else {
-            self.counters.incr("watches_dropped_descheduled");
+            self.metrics.incr("watches_dropped_descheduled");
             return;
         };
         let core = core.0 as usize;
         if !self.caches[core].state(line).readable() {
-            self.counters.incr("watches_fired_immediately");
+            self.metrics.incr("watches_fired_immediately");
             self.sim.schedule_in(0, Ev::WakeNow(t, line));
             return;
         }
@@ -450,12 +659,21 @@ impl Mach {
 
     fn issue_mem(&mut self, cache: usize, addr: Addr, kind: MemKind, issuer: MemIssuer) {
         if self.dbg.watch_line == Some(addr.line().0) {
-            eprintln!("[{}] issue_mem cache={cache} addr={addr} kind={kind:?} issuer={issuer:?}", self.sim.now());
+            eprintln!(
+                "[{}] issue_mem cache={cache} addr={addr} kind={kind:?} issuer={issuer:?}",
+                self.sim.now()
+            );
         }
-        
+
         let line = addr.line();
         let key = (cache, line);
-        let pm = PendingMem { addr, kind, issuer, result: None };
+        let pm = PendingMem {
+            addr,
+            kind,
+            issuer,
+            issued: self.sim.now(),
+            result: None,
+        };
         if self.pending_mem.contains_key(&key) {
             self.mem_waitq.entry(key).or_default().push_back(pm);
             return;
@@ -482,7 +700,7 @@ impl Mach {
                 let src = self.net.core_endpoint(cache);
                 let dst = self.net.mem_endpoint(home);
                 let t0 = self.sim.now() + self.cfg.l1_latency + rmw_extra;
-                let arrival = self.net.send(t0, src, dst, MsgClass::Control);
+                let arrival = self.net_send(t0, src, dst, MsgClass::Control);
                 self.sim.schedule_at(
                     arrival,
                     Ev::DirMsg {
@@ -545,8 +763,6 @@ pub enum RunExit {
 pub struct World {
     mach: Mach,
     backend: Box<dyn LockBackend>,
-    trace: Option<Vec<(Time, String)>>,
-    trace_cap: usize,
 }
 
 impl std::fmt::Debug for World {
@@ -567,11 +783,11 @@ impl World {
         let caches = (0..cfg.n_cores())
             .map(|i| CacheCtrl::new(CacheId(i as u32)))
             .collect();
-        let dirs = (0..cfg.n_mems()).map(|i| DirCtrl::new(DirId(i as u32))).collect();
+        let dirs = (0..cfg.n_mems())
+            .map(|i| DirCtrl::new(DirId(i as u32)))
+            .collect();
         let n_cores = cfg.n_cores();
         World {
-            trace: None,
-            trace_cap: 0,
             mach: Mach {
                 cfg,
                 sim: Simulator::new(),
@@ -588,7 +804,8 @@ impl World {
                 wire_payloads: HashMap::new(),
                 wire_seq: 0,
                 alloc: Alloc::new(),
-                counters: Counters::new(),
+                metrics: MetricsRegistry::new(),
+                tracer: Tracer::new(),
                 seed,
                 next_stream: 0,
                 alive: 0,
@@ -600,17 +817,22 @@ impl World {
         }
     }
 
-    /// Starts recording a bounded event trace (newest events win once the
-    /// bound is hit). Useful for debugging protocol interactions; see
-    /// [`World::trace_entries`].
+    /// Starts recording a bounded structured event trace (newest records
+    /// win once the bound is hit). See [`Mach::tracer`] for export and the
+    /// `locksim-trace` crate for the record schema.
     pub fn enable_trace(&mut self, cap: usize) {
-        self.trace = Some(Vec::new());
-        self.trace_cap = cap.max(1);
+        self.mach.tracer.enable(cap);
     }
 
-    /// The recorded `(time, event)` entries, oldest first.
-    pub fn trace_entries(&self) -> &[(Time, String)] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// The recorded trace as `(time, rendered record)` entries, oldest
+    /// first — a convenience view over [`Mach::tracer`] for tests and
+    /// debugging.
+    pub fn trace_entries(&self) -> Vec<(Time, String)> {
+        self.mach
+            .tracer
+            .events()
+            .map(|e| (e.t, format!("{:?}", e.kind)))
+            .collect()
     }
 
     /// Access to machine state (allocation, peeking, stats).
@@ -628,15 +850,41 @@ impl World {
         self.backend.debug_state()
     }
 
-    /// The lock backend's counters plus machine and network counters.
+    /// The lock backend's counters plus machine counters (network message
+    /// counts are folded into the machine counters at each send).
     pub fn report_counters(&self) -> Counters {
-        let mut c = self.mach.counters.clone();
+        let mut c = self.mach.metrics.counters().clone();
         c.merge(&self.backend.counters());
-        c.merge(self.mach.net.counters());
         for d in &self.mach.dirs {
             c.merge(d.counters());
         }
         c
+    }
+
+    /// End-of-run metrics: machine counters merged with backend, directory,
+    /// and network-derived counters, plus all latency histograms. The
+    /// rendering of this snapshot is deterministic for a given seed.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut net = Counters::new();
+        net.add("net_queue_delay_cycles", self.mach.net.total_queue_delay());
+        let (mut busy, mut msgs) = (0u64, 0u64);
+        for l in self.mach.net.link_stats() {
+            busy += l.busy_cycles;
+            msgs += l.messages;
+        }
+        net.add("net_link_busy_cycles", busy);
+        net.add("net_link_msgs", msgs);
+        let backend = self.backend.counters();
+        let mut extra: Vec<&Counters> = vec![&backend, &net];
+        for d in &self.mach.dirs {
+            extra.push(d.counters());
+        }
+        self.mach.metrics.snapshot(extra)
+    }
+
+    /// Thread `t`'s cycle dissection (see [`CycleDissection`]).
+    pub fn thread_dissection(&self, t: ThreadId) -> CycleDissection {
+        self.mach.thread_dissection(t)
     }
 
     /// Spawns a thread running `prog`. Threads are installed on free cores
@@ -645,6 +893,7 @@ impl World {
     pub fn spawn(&mut self, prog: Box<dyn Program>) -> ThreadId {
         let tid = ThreadId(self.mach.threads.len() as u32);
         let rng = self.mach.rng_stream();
+        let now = self.mach.sim.now();
         self.mach.threads.push(ThreadState {
             program: Some(prog),
             core: None,
@@ -657,6 +906,12 @@ impl World {
             computing: None,
             compute_left: 0,
             resume_gen: 0,
+            waiting_on: None,
+            holding: Vec::new(),
+            acct_cat: CycleCat::default(),
+            acct_since: now,
+            dissect: CycleDissection::default(),
+            finished_at: None,
         });
         self.mach.alive += 1;
         if let Some(core) = self.mach.cores.iter().position(|c| c.is_none()) {
@@ -676,12 +931,24 @@ impl World {
     /// Panics if `t` is not scheduled or the target core is occupied.
     pub fn migrate(&mut self, t: ThreadId, to: usize) {
         let ti = t.0 as usize;
-        let from = self.mach.threads[ti].core.expect("migrating unscheduled thread");
+        let from = self.mach.threads[ti]
+            .core
+            .expect("migrating unscheduled thread");
         assert!(self.mach.cores[to].is_none(), "target core busy");
         self.mach.cores[from.0 as usize] = None;
         self.mach.threads[ti].core = None;
         self.backend.on_thread_descheduled(&mut self.mach, t);
-        self.mach.counters.incr("migrations");
+        self.mach.metrics.incr("migrations");
+        self.mach.acct_switch(ti, CycleCat::Preempted);
+        self.mach.trace(|now| TraceEvent {
+            t: now,
+            ep: TraceEp::Thread(t.0),
+            kind: TraceKind::SchedMigrate {
+                thread: t.0,
+                from: from.0,
+                to: to as u32,
+            },
+        });
         self.install(t, to, self.mach.cfg.ctx_switch);
     }
 
@@ -693,8 +960,19 @@ impl World {
     /// Panics if `t` is not scheduled.
     pub fn preempt(&mut self, t: ThreadId) {
         let ti = t.0 as usize;
-        let core = self.mach.threads[ti].core.expect("preempting unscheduled thread");
+        let core = self.mach.threads[ti]
+            .core
+            .expect("preempting unscheduled thread");
         self.suspend_compute(t);
+        self.mach.acct_switch(ti, CycleCat::Preempted);
+        self.mach.trace(|now| TraceEvent {
+            t: now,
+            ep: TraceEp::Thread(t.0),
+            kind: TraceKind::SchedPreempt {
+                thread: t.0,
+                core: core.0,
+            },
+        });
         self.mach.cores[core.0 as usize] = None;
         self.mach.threads[ti].core = None;
         self.mach.threads[ti].stats.preemptions += 1;
@@ -754,21 +1032,22 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Ev) {
-        if let Some(buf) = &mut self.trace {
-            if buf.len() == self.trace_cap {
-                buf.remove(0);
-            }
-            buf.push((self.mach.sim.now(), format!("{ev:?}")));
-        }
         if self.mach.dbg.trace_all {
             eprintln!("[{}] {:?}", self.mach.sim.now(), ev);
         }
         if let Some(l) = self.mach.dbg.trace_line {
             match &ev {
                 Ev::CacheMsg { cache, line, msg } if line.0 == l => {
-                    eprintln!("[{}] cachemsg cache={cache} {:?} (state {:?})", self.mach.sim.now(), msg, self.mach.caches[*cache].state(*line));
+                    eprintln!(
+                        "[{}] cachemsg cache={cache} {:?} (state {:?})",
+                        self.mach.sim.now(),
+                        msg,
+                        self.mach.caches[*cache].state(*line)
+                    );
                 }
-                Ev::DirMsg { line, from, msg, .. } if line.0 == l => {
+                Ev::DirMsg {
+                    line, from, msg, ..
+                } if line.0 == l => {
                     eprintln!("[{}] dirmsg from={:?} {:?}", self.mach.sim.now(), from, msg);
                 }
                 _ => {}
@@ -782,7 +1061,38 @@ impl World {
             }
             Ev::MemDone { cache, line } => self.complete_mem(cache, line),
             Ev::CacheMsg { cache, line, msg } => {
+                let home = home_of(line, self.mach.dirs.len());
+                let from = self.mach.net.mem_endpoint(home).index() as u16;
+                let to = self.mach.net.core_endpoint(cache).index() as u16;
+                let class = match msg {
+                    DirToCache::DataS { .. } | DirToCache::DataM => "data",
+                    _ => "control",
+                };
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Core(cache as u32),
+                    kind: TraceKind::MsgRecv { class, from, to },
+                });
+                let before = if self.mach.tracer.is_enabled() {
+                    Some(self.mach.caches[cache].state(line))
+                } else {
+                    None
+                };
                 let actions = self.mach.caches[cache].handle(line, msg);
+                if let Some(b) = before {
+                    let a = self.mach.caches[cache].state(line);
+                    if a != b {
+                        self.mach.trace(|now| TraceEvent {
+                            t: now,
+                            ep: TraceEp::Core(cache as u32),
+                            kind: TraceKind::Coherence {
+                                line: line.0,
+                                from: cache_state_name(b),
+                                to: cache_state_name(a),
+                            },
+                        });
+                    }
+                }
                 for act in actions {
                     match act {
                         CacheAction::Send(m) => {
@@ -795,7 +1105,7 @@ impl World {
                                 _ => MsgClass::Control,
                             };
                             let now = self.mach.sim.now();
-                            let arrival = self.mach.net.send(now, src, dst, class);
+                            let arrival = self.mach.net_send(now, src, dst, class);
                             self.mach.sim.schedule_at(
                                 arrival,
                                 Ev::DirMsg {
@@ -812,7 +1122,28 @@ impl World {
                     }
                 }
             }
-            Ev::DirMsg { dir, line, from, msg } => {
+            Ev::DirMsg {
+                dir,
+                line,
+                from,
+                msg,
+            } => {
+                let src = self.mach.net.core_endpoint(from.0 as usize).index() as u16;
+                let dst = self.mach.net.mem_endpoint(dir).index() as u16;
+                let class = match msg {
+                    CacheToDir::InvAck { dirty: true }
+                    | CacheToDir::DowngradeAck { dirty: true } => "data",
+                    _ => "control",
+                };
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Dir(dir as u32),
+                    kind: TraceKind::MsgRecv {
+                        class,
+                        from: src,
+                        to: dst,
+                    },
+                });
                 let actions = self.mach.dirs[dir].handle(line, from, msg);
                 for act in actions {
                     // A data grant is the transaction's serialization point:
@@ -831,12 +1162,20 @@ impl World {
                         }
                     }
                     let delay = self.mach.cfg.dir_latency
-                        + if act.dram { self.mach.cfg.dram_latency } else { 0 };
-                    let class = if act.carries_data { MsgClass::Data } else { MsgClass::Control };
+                        + if act.dram {
+                            self.mach.cfg.dram_latency
+                        } else {
+                            0
+                        };
+                    let class = if act.carries_data {
+                        MsgClass::Data
+                    } else {
+                        MsgClass::Control
+                    };
                     let src = self.mach.net.mem_endpoint(dir);
                     let dst = self.mach.net.core_endpoint(act.to.0 as usize);
                     let t0 = self.mach.sim.now() + delay;
-                    let arrival = self.mach.net.send(t0, src, dst, class);
+                    let arrival = self.mach.net_send(t0, src, dst, class);
                     self.mach.sim.schedule_at(
                         arrival,
                         Ev::CacheMsg {
@@ -855,7 +1194,14 @@ impl World {
                     .expect("wire payload vanished");
                 self.backend.on_wire(&mut self.mach, payload);
             }
-            Ev::Timer(token) => self.backend.on_timer(&mut self.mach, token),
+            Ev::Timer(token) => {
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Global,
+                    kind: TraceKind::TimerFire { label: "backend" },
+                });
+                self.backend.on_timer(&mut self.mach, token)
+            }
             Ev::Quantum(core, gen) => self.quantum_tick(core, gen),
             Ev::Installed(t, core) => self.finish_install(t, core),
             Ev::WakeNow(t, line) => self.backend.on_line_invalidated(&mut self.mach, t, line),
@@ -864,9 +1210,13 @@ impl World {
 
     fn fire_watchers(&mut self, cache: usize, line: LineAddr) {
         if self.mach.dbg.watch_line == Some(line.0) {
-            eprintln!("[{}] fire_watchers cache={cache} watchers={:?}", self.mach.sim.now(), self.mach.watchers.get(&(cache, line)));
+            eprintln!(
+                "[{}] fire_watchers cache={cache} watchers={:?}",
+                self.mach.sim.now(),
+                self.mach.watchers.get(&(cache, line))
+            );
         }
-        
+
         if let Some(ws) = self.mach.watchers.remove(&(cache, line)) {
             for t in ws {
                 self.backend.on_line_invalidated(&mut self.mach, t, line);
@@ -885,8 +1235,16 @@ impl World {
             Some(v) => v,
             None => self.mach.apply_mem(pm),
         };
+        let served_in = self.mach.sim.now().saturating_since(pm.issued);
+        self.mach.metrics.observe("mem_op_cycles", served_in);
         if self.mach.dbg.watch_line == Some(line.0) {
-            eprintln!("[{}] complete_mem cache={cache} addr={} kind={:?} issuer={:?} val={value:#x}", self.mach.sim.now(), pm.addr, pm.kind, pm.issuer);
+            eprintln!(
+                "[{}] complete_mem cache={cache} addr={} kind={:?} issuer={:?} val={value:#x}",
+                self.mach.sim.now(),
+                pm.addr,
+                pm.kind,
+                pm.issuer
+            );
         }
         match pm.issuer {
             MemIssuer::Prog(t) => {
@@ -951,31 +1309,111 @@ impl World {
 
     fn apply_action(&mut self, t: ThreadId, core: CoreId, action: Action) {
         let ti = t.0 as usize;
+        // Cycle-dissection bookkeeping: the action decides what the thread
+        // spends its next cycles on. Time inside a critical section counts
+        // as lock_hold whatever the instruction mix.
+        let in_cs = !self.mach.threads[ti].holding.is_empty();
         match action {
             Action::Compute(c) => {
+                self.mach.acct_switch(
+                    ti,
+                    if in_cs {
+                        CycleCat::LockHold
+                    } else {
+                        CycleCat::Compute
+                    },
+                );
                 self.mach.threads[ti].computing = Some(self.mach.sim.now() + c);
                 self.mach.sched_resume(t, Outcome::Completed, c);
             }
             Action::Read(a) => {
+                self.mach.acct_switch(
+                    ti,
+                    if in_cs {
+                        CycleCat::LockHold
+                    } else {
+                        CycleCat::Memory
+                    },
+                );
                 self.mach
                     .issue_mem(core.0 as usize, a, MemKind::Load, MemIssuer::Prog(t));
             }
             Action::Write(a, v) => {
+                self.mach.acct_switch(
+                    ti,
+                    if in_cs {
+                        CycleCat::LockHold
+                    } else {
+                        CycleCat::Memory
+                    },
+                );
                 self.mach
                     .issue_mem(core.0 as usize, a, MemKind::Store(v), MemIssuer::Prog(t));
             }
             Action::Rmw(a, op) => {
+                self.mach.acct_switch(
+                    ti,
+                    if in_cs {
+                        CycleCat::LockHold
+                    } else {
+                        CycleCat::Memory
+                    },
+                );
                 self.mach
                     .issue_mem(core.0 as usize, a, MemKind::Rmw(op), MemIssuer::Prog(t));
             }
-            Action::Acquire { lock, mode, try_for } => {
+            Action::Acquire {
+                lock,
+                mode,
+                try_for,
+            } => {
+                self.mach.acct_switch(ti, CycleCat::LockAcquire);
                 self.mach.threads[ti].waiting_since = Some(self.mach.sim.now());
-                self.backend.on_acquire(&mut self.mach, t, lock, mode, try_for);
+                self.mach.threads[ti].waiting_on = Some((lock, mode));
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Thread(t.0),
+                    kind: TraceKind::LockRequest {
+                        lock: lock.0,
+                        thread: t.0,
+                        write: mode == Mode::Write,
+                    },
+                });
+                self.backend
+                    .on_acquire(&mut self.mach, t, lock, mode, try_for);
             }
             Action::Release { lock, mode } => {
+                self.mach.acct_switch(ti, CycleCat::LockRelease);
+                if let Some(pos) = self.mach.threads[ti]
+                    .holding
+                    .iter()
+                    .rposition(|&(a, _)| a == lock)
+                {
+                    let (_, since) = self.mach.threads[ti].holding.remove(pos);
+                    let held = self.mach.sim.now().saturating_since(since);
+                    self.mach.metrics.observe("lock_hold_cycles", held);
+                }
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Thread(t.0),
+                    kind: TraceKind::LockRelease {
+                        lock: lock.0,
+                        thread: t.0,
+                        write: mode == Mode::Write,
+                    },
+                });
                 self.backend.on_release(&mut self.mach, t, lock, mode);
             }
             Action::Yield => {
+                self.mach.acct_switch(ti, CycleCat::Preempted);
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Thread(t.0),
+                    kind: TraceKind::SchedPreempt {
+                        thread: t.0,
+                        core: core.0,
+                    },
+                });
                 self.mach.threads[ti].pending_outcome = Some(Outcome::Completed);
                 self.mach.cores[core.0 as usize] = None;
                 self.mach.threads[ti].core = None;
@@ -987,6 +1425,8 @@ impl World {
                 }
             }
             Action::Done => {
+                self.mach.acct_switch(ti, CycleCat::Preempted);
+                self.mach.threads[ti].finished_at = Some(self.mach.sim.now());
                 self.mach.threads[ti].run = ThreadRun::Finished;
                 self.mach.threads[ti].core = None;
                 self.mach.cores[core.0 as usize] = None;
@@ -1019,9 +1459,7 @@ impl World {
         self.mach.cores[core] = Some(t);
         self.mach.threads[ti].core = Some(CoreId(core as u32));
         self.mach.threads[ti].run = ThreadRun::Running;
-        self.mach
-            .sim
-            .schedule_in(delay, Ev::Installed(t, core));
+        self.mach.sim.schedule_in(delay, Ev::Installed(t, core));
     }
 
     fn finish_install(&mut self, t: ThreadId, core: usize) {
@@ -1031,12 +1469,29 @@ impl World {
         if self.mach.cores[core] != Some(t) || self.mach.threads[ti].run == ThreadRun::Finished {
             return;
         }
+        // Back on a core: resume the accounting category the thread was in
+        // when it left (acquiring, inside a critical section, or plain work).
+        let resumed = if self.mach.threads[ti].waiting_on.is_some() {
+            CycleCat::LockAcquire
+        } else if !self.mach.threads[ti].holding.is_empty() {
+            CycleCat::LockHold
+        } else {
+            CycleCat::Compute
+        };
+        self.mach.acct_switch(ti, resumed);
+        self.mach.trace(|now| TraceEvent {
+            t: now,
+            ep: TraceEp::Thread(t.0),
+            kind: TraceKind::SchedRun {
+                thread: t.0,
+                core: core as u32,
+            },
+        });
         self.backend
             .on_thread_scheduled(&mut self.mach, t, CoreId(core as u32));
         // Replay memory ops the backend issued while the thread was off-core.
         while let Some((addr, kind)) = self.mach.threads[ti].deferred_mem.pop_front() {
-            self.mach
-                .issue_mem(core, addr, kind, MemIssuer::Backend(t));
+            self.mach.issue_mem(core, addr, kind, MemIssuer::Backend(t));
         }
         let left = std::mem::take(&mut self.mach.threads[ti].compute_left);
         if left > 0 {
@@ -1076,6 +1531,15 @@ impl World {
             if !self.mach.ready.is_empty() {
                 let ci = cur.0 as usize;
                 self.suspend_compute(cur);
+                self.mach.acct_switch(ci, CycleCat::Preempted);
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Thread(cur.0),
+                    kind: TraceKind::SchedPreempt {
+                        thread: cur.0,
+                        core: core as u32,
+                    },
+                });
                 self.mach.cores[core] = None;
                 self.mach.threads[ci].core = None;
                 self.mach.threads[ci].run = ThreadRun::Ready;

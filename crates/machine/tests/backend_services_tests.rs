@@ -32,7 +32,11 @@ struct ProbeBackend {
 
 impl ProbeBackend {
     fn new(log: Rc<RefCell<Log>>) -> Self {
-        ProbeBackend { log, probe_addr: None, watch: None }
+        ProbeBackend {
+            log,
+            probe_addr: None,
+            watch: None,
+        }
     }
 }
 
@@ -41,8 +45,18 @@ impl LockBackend for ProbeBackend {
         "probe"
     }
 
-    fn on_acquire(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, _mode: Mode, _try_for: Option<Cycles>) {
-        self.log.borrow_mut().events.push(format!("acquire t{}", t.0));
+    fn on_acquire(
+        &mut self,
+        m: &mut Mach,
+        t: ThreadId,
+        lock: Addr,
+        _mode: Mode,
+        _try_for: Option<Cycles>,
+    ) {
+        self.log
+            .borrow_mut()
+            .events
+            .push(format!("acquire t{}", t.0));
         if let Some(a) = self.probe_addr.take() {
             m.backend_mem(t, a, MemKind::Load);
         }
@@ -52,12 +66,21 @@ impl LockBackend for ProbeBackend {
         // Bounce a wire message to ourselves via the lock's home.
         let core = m.core_of(t).unwrap().0 as usize;
         let home = m.home_of(lock);
-        m.send_wire(Ep::Core(core), Ep::Mem(home), MsgClass::Control, 0, Box::new((t, lock)));
+        m.send_wire(
+            Ep::Core(core),
+            Ep::Mem(home),
+            MsgClass::Control,
+            0,
+            Box::new((t, lock)),
+        );
         m.set_timer(50, t.0 as u64);
     }
 
     fn on_release(&mut self, m: &mut Mach, t: ThreadId, _lock: Addr, _mode: Mode) {
-        self.log.borrow_mut().events.push(format!("release t{}", t.0));
+        self.log
+            .borrow_mut()
+            .events
+            .push(format!("release t{}", t.0));
         m.complete_release(t);
     }
 
@@ -72,7 +95,10 @@ impl LockBackend for ProbeBackend {
     }
 
     fn on_mem_value(&mut self, _m: &mut Mach, t: ThreadId, value: u64) {
-        self.log.borrow_mut().events.push(format!("mem t{} v{value}", t.0));
+        self.log
+            .borrow_mut()
+            .events
+            .push(format!("mem t{} v{value}", t.0));
     }
 
     fn on_line_invalidated(&mut self, _m: &mut Mach, t: ThreadId, _line: LineAddr) {
@@ -96,8 +122,15 @@ fn wire_round_trip_grants_and_timer_fires() {
     let mut w = world_with_probe(log.clone(), |_| {});
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
-        Action::Release { lock, mode: Mode::Write },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     let ev = log.borrow().events.clone();
@@ -114,14 +147,25 @@ fn backend_mem_returns_poked_value() {
     w.mach().mem_poke(Addr(0x1000), 1234);
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         // Stay alive until the backend's probe load completes (the run
         // stops as soon as every thread finishes).
         Action::Compute(5_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
-    assert!(log.borrow().events.contains(&"mem t0 v1234".to_string()), "events: {:?}", log.borrow().events);
+    assert!(
+        log.borrow().events.contains(&"mem t0 v1234".to_string()),
+        "events: {:?}",
+        log.borrow().events
+    );
 }
 
 #[test]
@@ -132,8 +176,15 @@ fn watch_on_uncached_line_fires_immediately() {
     let mut w = world_with_probe(log.clone(), |be| be.watch = Some(Addr(0x2000)));
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
-        Action::Release { lock, mode: Mode::Write },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     assert!(log.borrow().events.contains(&"inval t0".to_string()));
@@ -155,9 +206,16 @@ fn watch_fires_on_remote_write() {
     // cache the line and the probe's `watch` hook at acquire time.
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Read(shared),
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(50_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     // t1 writes the shared line after a delay.
     w.spawn(Box::new(ScriptProgram::new(vec![
@@ -172,9 +230,16 @@ fn watch_fires_on_remote_write() {
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Read(shared),
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(50_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Compute(5_000),
@@ -200,7 +265,14 @@ fn unwatch_suppresses_wake() {
         fn name(&self) -> &'static str {
             "unwatch"
         }
-        fn on_acquire(&mut self, m: &mut Mach, t: ThreadId, _l: Addr, _mo: Mode, _tf: Option<Cycles>) {
+        fn on_acquire(
+            &mut self,
+            m: &mut Mach,
+            t: ThreadId,
+            _l: Addr,
+            _mo: Mode,
+            _tf: Option<Cycles>,
+        ) {
             m.watch_line(t, self.target.line());
             m.unwatch_line(t, self.target.line());
             m.grant_lock(t);
@@ -216,22 +288,36 @@ fn unwatch_suppresses_wake() {
     let shared = Addr(0x4000);
     let mut w = World::new(
         MachineConfig::model_a(4),
-        Box::new(UnwatchBackend { log: log.clone(), target: shared }),
+        Box::new(UnwatchBackend {
+            log: log.clone(),
+            target: shared,
+        }),
         1,
     );
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Read(shared),
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(20_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Compute(2_000),
         Action::Write(shared, 1),
     ])));
     w.run_to_completion();
-    assert!(log.borrow().events.is_empty(), "unexpected {:?}", log.borrow().events);
+    assert!(
+        log.borrow().events.is_empty(),
+        "unexpected {:?}",
+        log.borrow().events
+    );
 }
 
 #[test]
@@ -241,9 +327,16 @@ fn trace_records_bounded_events() {
     w.enable_trace(8);
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(1_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     let entries = w.trace_entries();
@@ -254,5 +347,81 @@ fn trace_records_bounded_events() {
         assert!(pair[0].0 <= pair[1].0);
     }
     // Events render as useful debug text.
-    assert!(entries.iter().any(|(_, e)| e.contains("Resume") || e.contains("Wire")));
+    assert!(entries
+        .iter()
+        .any(|(_, e)| e.contains("Lock") || e.contains("Sched")));
+}
+
+#[test]
+fn trace_captures_full_lock_lifecycle() {
+    let log = Rc::new(RefCell::new(Log::default()));
+    let mut w = world_with_probe(log, |_| {});
+    w.enable_trace(4096);
+    let lock = w.mach().alloc().alloc_line();
+    w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Compute(1_000),
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
+    ])));
+    w.run_to_completion();
+    let kinds: Vec<&'static str> = w
+        .mach_ref()
+        .tracer()
+        .events()
+        .filter(|e| e.kind.lock_addr() == Some(lock.0))
+        .map(|e| e.kind.name())
+        .collect();
+    assert_eq!(kinds, ["lock_request", "lock_grant", "lock_release"]);
+    // The grant/hold/release also feed the metrics registry.
+    let snap = w.metrics_snapshot();
+    assert_eq!(snap.counters.get("locks_granted"), 1);
+    assert!(snap
+        .hists
+        .iter()
+        .any(|h| h.name == "lock_wait_cycles" && h.count == 1));
+    assert!(snap
+        .hists
+        .iter()
+        .any(|h| h.name == "lock_hold_cycles" && h.count == 1));
+}
+
+#[test]
+fn dissection_buckets_sum_to_thread_lifetime() {
+    let log = Rc::new(RefCell::new(Log::default()));
+    let mut w = world_with_probe(log, |_| {});
+    let lock = w.mach().alloc().alloc_line();
+    let t = w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Compute(500),
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Compute(1_000),
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
+        Action::Compute(200),
+    ])));
+    w.run_to_completion();
+    let d = w.thread_dissection(t);
+    let end = w.mach_ref().now();
+    assert_eq!(
+        d.total(),
+        end.cycles(),
+        "buckets must sum to the thread's lifetime"
+    );
+    assert!(d.compute >= 700, "both compute phases accounted: {d:?}");
+    assert!(
+        d.lock_hold >= 1_000,
+        "critical section counts as hold: {d:?}"
+    );
 }

@@ -10,7 +10,11 @@ use locksim_machine::{
 };
 
 fn world_a(chips: usize) -> World {
-    World::new(MachineConfig::model_a(chips), Box::new(IdealBackend::new()), 42)
+    World::new(
+        MachineConfig::model_a(chips),
+        Box::new(IdealBackend::new()),
+        42,
+    )
 }
 
 #[test]
@@ -49,18 +53,20 @@ fn read_returns_written_value() {
     let seen = Rc::new(RefCell::new(None));
     let seen2 = seen.clone();
     let mut step = 0;
-    w.spawn(Box::new(FnProgram(move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| {
-        step += 1;
-        match step {
-            1 => Action::Read(a),
-            _ => {
-                if let Outcome::Value(v) = outcome {
-                    *seen2.borrow_mut() = Some(v);
+    w.spawn(Box::new(FnProgram(
+        move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| {
+            step += 1;
+            match step {
+                1 => Action::Read(a),
+                _ => {
+                    if let Outcome::Value(v) = outcome {
+                        *seen2.borrow_mut() = Some(v);
+                    }
+                    Action::Done
                 }
-                Action::Done
             }
-        }
-    })));
+        },
+    )));
     w.run_to_completion();
     assert_eq!(*seen.borrow(), Some(77));
 }
@@ -73,18 +79,20 @@ fn rmw_returns_old_value_and_applies() {
     let old = Rc::new(RefCell::new(None));
     let old2 = old.clone();
     let mut step = 0;
-    w.spawn(Box::new(FnProgram(move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| {
-        step += 1;
-        match step {
-            1 => Action::Rmw(a, RmwOp::FetchAdd(10)),
-            _ => {
-                if let Outcome::Value(v) = outcome {
-                    *old2.borrow_mut() = Some(v);
+    w.spawn(Box::new(FnProgram(
+        move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| {
+            step += 1;
+            match step {
+                1 => Action::Rmw(a, RmwOp::FetchAdd(10)),
+                _ => {
+                    if let Outcome::Value(v) = outcome {
+                        *old2.borrow_mut() = Some(v);
+                    }
+                    Action::Done
                 }
-                Action::Done
             }
-        }
-    })));
+        },
+    )));
     w.run_to_completion();
     assert_eq!(*old.borrow(), Some(5));
     assert_eq!(w.mach().mem_peek(a), 15);
@@ -134,22 +142,28 @@ fn mutual_exclusion_under_ideal_backend() {
         let mut iter = 0;
         let mut stage = 0;
         let mut val = 0;
-        w.spawn(Box::new(FnProgram(move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| {
-            loop {
+        w.spawn(Box::new(FnProgram(
+            move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| loop {
                 match stage {
                     0 => {
                         if iter == ITERS {
                             return Action::Done;
                         }
                         stage = 1;
-                        return Action::Acquire { lock, mode: Mode::Write, try_for: None };
+                        return Action::Acquire {
+                            lock,
+                            mode: Mode::Write,
+                            try_for: None,
+                        };
                     }
                     1 => {
                         stage = 2;
                         return Action::Read(counter);
                     }
                     2 => {
-                        let Outcome::Value(v) = outcome else { panic!("expected value") };
+                        let Outcome::Value(v) = outcome else {
+                            panic!("expected value")
+                        };
                         val = v;
                         stage = 3;
                         return Action::Compute(20);
@@ -160,7 +174,10 @@ fn mutual_exclusion_under_ideal_backend() {
                     }
                     4 => {
                         stage = 5;
-                        return Action::Release { lock, mode: Mode::Write };
+                        return Action::Release {
+                            lock,
+                            mode: Mode::Write,
+                        };
                     }
                     5 => {
                         stage = 0;
@@ -169,8 +186,8 @@ fn mutual_exclusion_under_ideal_backend() {
                     }
                     _ => unreachable!(),
                 }
-            }
-        })));
+            },
+        )));
     }
     w.run_to_completion();
     assert_eq!(w.mach().mem_peek(counter), 8 * ITERS as u64);
@@ -185,27 +202,47 @@ fn readers_run_concurrently_writers_alone() {
     let lock = w.mach().alloc().alloc_line();
     for _ in 0..4 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
             Action::Compute(10_000),
-            Action::Release { lock, mode: Mode::Read },
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
         ])));
     }
     w.run_to_completion();
     let readers_time = w.mach().now().cycles();
-    assert!(readers_time < 2 * 10_000, "readers serialized: {readers_time}");
+    assert!(
+        readers_time < 2 * 10_000,
+        "readers serialized: {readers_time}"
+    );
 
     let mut w = world_a(8);
     let lock = w.mach().alloc().alloc_line();
     for _ in 0..4 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Write, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            },
             Action::Compute(10_000),
-            Action::Release { lock, mode: Mode::Write },
+            Action::Release {
+                lock,
+                mode: Mode::Write,
+            },
         ])));
     }
     w.run_to_completion();
     let writers_time = w.mach().now().cycles();
-    assert!(writers_time >= 4 * 10_000, "writers overlapped: {writers_time}");
+    assert!(
+        writers_time >= 4 * 10_000,
+        "writers overlapped: {writers_time}"
+    );
 }
 
 #[test]
@@ -216,23 +253,36 @@ fn trylock_with_zero_budget_fails_when_held() {
     let seen = outcome_seen.clone();
     // Thread 0 holds the lock for a long time.
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(50_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     // Thread 1 tries after a delay and must fail fast.
     let mut step = 0;
-    w.spawn(Box::new(FnProgram(move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| {
-        step += 1;
-        match step {
-            1 => Action::Compute(1_000),
-            2 => Action::Acquire { lock, mode: Mode::Write, try_for: Some(0) },
-            _ => {
-                *seen.borrow_mut() = Some(outcome);
-                Action::Done
+    w.spawn(Box::new(FnProgram(
+        move |_ctx: &mut locksim_machine::Ctx<'_>, outcome: Outcome| {
+            step += 1;
+            match step {
+                1 => Action::Compute(1_000),
+                2 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: Some(0),
+                },
+                _ => {
+                    *seen.borrow_mut() = Some(outcome);
+                    Action::Done
+                }
             }
-        }
-    })));
+        },
+    )));
     w.run_to_completion();
     assert_eq!(*outcome_seen.borrow(), Some(Outcome::Failed));
 }
@@ -253,7 +303,10 @@ fn oversubscription_time_slices_all_threads() {
     let total_preempts: u64 = (0..6)
         .map(|i| w.mach().thread_stats(ThreadId(i)).preemptions)
         .sum();
-    assert!(total_preempts > 0, "expected preemptions under oversubscription");
+    assert!(
+        total_preempts > 0,
+        "expected preemptions under oversubscription"
+    );
     // 6 threads × 40k cycles of work on 2 cores ≥ 120k cycles.
     assert!(w.mach().now().cycles() >= 120_000);
 }
@@ -266,30 +319,34 @@ fn yield_rotates_ready_threads() {
     let o2 = order.clone();
     let mut w = world_a(1);
     let mut step1 = 0;
-    w.spawn(Box::new(FnProgram(move |_ctx: &mut locksim_machine::Ctx<'_>, _: Outcome| {
-        step1 += 1;
-        match step1 {
-            1 => {
-                o1.borrow_mut().push("t0-start");
-                Action::Yield
+    w.spawn(Box::new(FnProgram(
+        move |_ctx: &mut locksim_machine::Ctx<'_>, _: Outcome| {
+            step1 += 1;
+            match step1 {
+                1 => {
+                    o1.borrow_mut().push("t0-start");
+                    Action::Yield
+                }
+                _ => {
+                    o1.borrow_mut().push("t0-end");
+                    Action::Done
+                }
             }
-            _ => {
-                o1.borrow_mut().push("t0-end");
-                Action::Done
-            }
-        }
-    })));
+        },
+    )));
     let mut step2 = 0;
-    w.spawn(Box::new(FnProgram(move |_ctx: &mut locksim_machine::Ctx<'_>, _: Outcome| {
-        step2 += 1;
-        match step2 {
-            1 => {
-                o2.borrow_mut().push("t1-run");
-                Action::Compute(10)
+    w.spawn(Box::new(FnProgram(
+        move |_ctx: &mut locksim_machine::Ctx<'_>, _: Outcome| {
+            step2 += 1;
+            match step2 {
+                1 => {
+                    o2.borrow_mut().push("t1-run");
+                    Action::Compute(10)
+                }
+                _ => Action::Done,
             }
-            _ => Action::Done,
-        }
-    })));
+        },
+    )));
     w.run_to_completion();
     assert_eq!(*order.borrow(), vec!["t0-start", "t1-run", "t0-end"]);
 }
@@ -314,7 +371,9 @@ fn migration_moves_thread_to_new_core() {
 #[test]
 fn run_for_returns_time_limit() {
     let mut w = world_a(2);
-    w.spawn(Box::new(ScriptProgram::new(vec![Action::Compute(1_000_000)])));
+    w.spawn(Box::new(ScriptProgram::new(vec![Action::Compute(
+        1_000_000,
+    )])));
     let exit = w.run_for(Some(locksim_engine::Time::from_cycles(1_000)));
     assert_eq!(exit, RunExit::TimeLimit);
 }
@@ -325,9 +384,16 @@ fn thread_stats_record_acquires_and_waits() {
     let lock = w.mach().alloc().alloc_line();
     for _ in 0..2 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Write, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            },
             Action::Compute(5_000),
-            Action::Release { lock, mode: Mode::Write },
+            Action::Release {
+                lock,
+                mode: Mode::Write,
+            },
         ])));
     }
     w.run_to_completion();
@@ -345,9 +411,16 @@ fn report_counters_include_lock_and_network_activity() {
     let lock = w.mach().alloc().alloc_line();
     let data = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Write(data, 1),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     let c = w.report_counters();
@@ -358,14 +431,25 @@ fn report_counters_include_lock_and_network_activity() {
 #[test]
 fn deterministic_across_runs() {
     let run = |seed| {
-        let mut w = World::new(MachineConfig::model_b(), Box::new(IdealBackend::new()), seed);
+        let mut w = World::new(
+            MachineConfig::model_b(),
+            Box::new(IdealBackend::new()),
+            seed,
+        );
         let lock = w.mach().alloc().alloc_line();
         let data = w.mach().alloc().alloc_line();
         for _ in 0..8 {
             w.spawn(Box::new(ScriptProgram::new(vec![
-                Action::Acquire { lock, mode: Mode::Write, try_for: None },
+                Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: None,
+                },
                 Action::Rmw(data, RmwOp::FetchAdd(1)),
-                Action::Release { lock, mode: Mode::Write },
+                Action::Release {
+                    lock,
+                    mode: Mode::Write,
+                },
                 Action::Compute(100),
             ])));
         }

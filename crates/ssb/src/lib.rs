@@ -73,7 +73,11 @@ enum SsbMsg {
         orphan: bool,
     },
     /// Bank → core: grant.
-    Grant { addr: Addr, tid: ThreadId, mode: Mode },
+    Grant {
+        addr: Addr,
+        tid: ThreadId,
+        mode: Mode,
+    },
     /// Bank → core: denied (retry from software).
     Deny { addr: Addr, tid: ThreadId },
     /// Bank → core: release acknowledged.
@@ -112,7 +116,9 @@ impl SsbBackend {
     }
 
     fn send_req(&mut self, m: &mut Mach, t: ThreadId) {
-        let Some(p) = self.pending.get(&t).copied() else { return };
+        let Some(p) = self.pending.get(&t).copied() else {
+            return;
+        };
         let Some(core) = m.core_of(t) else {
             // Preempted: try again next backoff window.
             self.arm_retry(m, t);
@@ -121,8 +127,19 @@ impl SsbBackend {
         let core = core.0 as usize;
         let home = m.home_of(p.addr);
         self.counters.incr("ssb_requests");
-        let msg = SsbMsg::Req { addr: p.addr, tid: t, mode: p.mode, core };
-        m.send_wire(Ep::Core(core), Ep::Mem(home), MsgClass::Control, 0, Box::new(msg));
+        let msg = SsbMsg::Req {
+            addr: p.addr,
+            tid: t,
+            mode: p.mode,
+            core,
+        };
+        m.send_wire(
+            Ep::Core(core),
+            Ep::Mem(home),
+            MsgClass::Control,
+            0,
+            Box::new(msg),
+        );
     }
 
     fn arm_retry(&mut self, m: &mut Mach, t: ThreadId) {
@@ -134,7 +151,12 @@ impl SsbBackend {
 
     fn bank_handle(&mut self, m: &mut Mach, msg: SsbMsg) {
         match msg {
-            SsbMsg::Req { addr, tid, mode, core } => {
+            SsbMsg::Req {
+                addr,
+                tid,
+                mode,
+                core,
+            } => {
                 let home = m.home_of(addr);
                 let bank = &mut self.banks[home];
                 let granted = match (bank.get_mut(&addr), mode) {
@@ -166,15 +188,35 @@ impl SsbBackend {
                 };
                 let reply = if granted {
                     self.counters.incr("ssb_grants");
+                    m.trace_entry_state(
+                        Ep::Mem(home),
+                        addr,
+                        match mode {
+                            Mode::Write => "SsbWrite",
+                            Mode::Read => "SsbRead",
+                        },
+                    );
                     SsbMsg::Grant { addr, tid, mode }
                 } else {
                     self.counters.incr("ssb_denials");
                     SsbMsg::Deny { addr, tid }
                 };
                 let lat = m.cfg().lrt_latency;
-                m.send_wire(Ep::Mem(home), Ep::Core(core), MsgClass::Control, lat, Box::new(reply));
+                m.send_wire(
+                    Ep::Mem(home),
+                    Ep::Core(core),
+                    MsgClass::Control,
+                    lat,
+                    Box::new(reply),
+                );
             }
-            SsbMsg::Rel { addr, tid, mode, core, orphan } => {
+            SsbMsg::Rel {
+                addr,
+                tid,
+                mode,
+                core,
+                orphan,
+            } => {
                 let home = m.home_of(addr);
                 let bank = &mut self.banks[home];
                 match (bank.get_mut(&addr), mode) {
@@ -190,9 +232,18 @@ impl SsbBackend {
                     }
                     (st, _) => panic!("SSB release of {addr} in state {st:?}"),
                 }
+                if !bank.contains_key(&addr) {
+                    m.trace_entry_state(Ep::Mem(home), addr, "SsbFree");
+                }
                 let lat = m.cfg().lrt_latency;
                 let reply = SsbMsg::RelAck { tid, orphan };
-                m.send_wire(Ep::Mem(home), Ep::Core(core), MsgClass::Control, lat, Box::new(reply));
+                m.send_wire(
+                    Ep::Mem(home),
+                    Ep::Core(core),
+                    MsgClass::Control,
+                    lat,
+                    Box::new(reply),
+                );
             }
             _ => unreachable!("bank only receives Req/Rel"),
         }
@@ -204,22 +255,48 @@ impl LockBackend for SsbBackend {
         "ssb"
     }
 
-    fn on_acquire(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode, try_for: Option<Cycles>) {
+    fn on_acquire(
+        &mut self,
+        m: &mut Mach,
+        t: ThreadId,
+        lock: Addr,
+        mode: Mode,
+        try_for: Option<Cycles>,
+    ) {
         self.ensure_init(m);
         assert!(!self.pending.contains_key(&t), "{t:?} already acquiring");
         let deadline = try_for.map(|b| m.now() + b);
-        self.pending.insert(t, Pending { addr: lock, mode, deadline });
+        self.pending.insert(
+            t,
+            Pending {
+                addr: lock,
+                mode,
+                deadline,
+            },
+        );
         self.send_req(m, t);
     }
 
     fn on_release(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode) {
         self.ensure_init(m);
-        self.checker.on_release(lock, t, mode);
+        self.checker.on_release_traced(lock, t, mode, m.tracer());
         let core = m.core_of(t).expect("release from scheduled thread").0 as usize;
         let home = m.home_of(lock);
         self.counters.incr("ssb_releases");
-        let msg = SsbMsg::Rel { addr: lock, tid: t, mode, core, orphan: false };
-        m.send_wire(Ep::Core(core), Ep::Mem(home), MsgClass::Control, 0, Box::new(msg));
+        let msg = SsbMsg::Rel {
+            addr: lock,
+            tid: t,
+            mode,
+            core,
+            orphan: false,
+        };
+        m.send_wire(
+            Ep::Core(core),
+            Ep::Mem(home),
+            MsgClass::Control,
+            0,
+            Box::new(msg),
+        );
     }
 
     fn on_wire(&mut self, m: &mut Mach, payload: Box<dyn Any>) {
@@ -228,10 +305,7 @@ impl LockBackend for SsbBackend {
         match msg {
             SsbMsg::Req { .. } | SsbMsg::Rel { .. } => self.bank_handle(m, msg),
             SsbMsg::Grant { addr, tid, mode } => {
-                let wants = self
-                    .pending
-                    .get(&tid)
-                    .is_some_and(|p| p.addr == addr);
+                let wants = self.pending.get(&tid).is_some_and(|p| p.addr == addr);
                 if !wants {
                     // Trylock expired while the grant was in flight: give
                     // the lock straight back.
@@ -239,16 +313,31 @@ impl LockBackend for SsbBackend {
                     let home = m.home_of(addr);
                     // The ack will go to whatever core; nobody waits on it.
                     let core = m.core_of(tid).map(|c| c.0 as usize).unwrap_or(0);
-                    let rel = SsbMsg::Rel { addr, tid, mode, core, orphan: true };
-                    m.send_wire(Ep::Core(core), Ep::Mem(home), MsgClass::Control, 0, Box::new(rel));
+                    let rel = SsbMsg::Rel {
+                        addr,
+                        tid,
+                        mode,
+                        core,
+                        orphan: true,
+                    };
+                    m.send_wire(
+                        Ep::Core(core),
+                        Ep::Mem(home),
+                        MsgClass::Control,
+                        0,
+                        Box::new(rel),
+                    );
                     return;
                 }
                 let p = self.pending.remove(&tid).expect("checked");
-                self.checker.on_grant(p.addr, tid, p.mode);
+                self.checker
+                    .on_grant_traced(p.addr, tid, p.mode, m.tracer());
                 m.grant_lock(tid);
             }
             SsbMsg::Deny { addr, tid } => {
-                let Some(p) = self.pending.get(&tid).copied() else { return };
+                let Some(p) = self.pending.get(&tid).copied() else {
+                    return;
+                };
                 debug_assert_eq!(p.addr, addr);
                 if let Some(deadline) = p.deadline {
                     if m.now() >= deadline {
@@ -270,7 +359,9 @@ impl LockBackend for SsbBackend {
     }
 
     fn on_timer(&mut self, m: &mut Mach, token: u64) {
-        let Some(t) = self.retry_timers.remove(&token) else { return };
+        let Some(t) = self.retry_timers.remove(&token) else {
+            return;
+        };
         if self.pending.contains_key(&t) {
             self.send_req(m, t);
         }

@@ -19,7 +19,15 @@ struct CsLoop {
 
 impl CsLoop {
     fn new(lock: Addr, counter: Addr, iters: u32, write: bool) -> Self {
-        CsLoop { lock, counter, iters, write, i: 0, stage: 0, val: 0 }
+        CsLoop {
+            lock,
+            counter,
+            iters,
+            write,
+            i: 0,
+            stage: 0,
+            val: 0,
+        }
     }
 }
 
@@ -33,7 +41,11 @@ impl Program for CsLoop {
                     }
                     self.stage = 1;
                     let mode = if self.write { Mode::Write } else { Mode::Read };
-                    return Action::Acquire { lock: self.lock, mode, try_for: None };
+                    return Action::Acquire {
+                        lock: self.lock,
+                        mode,
+                        try_for: None,
+                    };
                 }
                 1 => {
                     self.stage = 2;
@@ -55,7 +67,10 @@ impl Program for CsLoop {
                 4 => {
                     self.stage = 5;
                     let mode = if self.write { Mode::Write } else { Mode::Read };
-                    return Action::Release { lock: self.lock, mode };
+                    return Action::Release {
+                        lock: self.lock,
+                        mode,
+                    };
                 }
                 5 => {
                     self.i += 1;
@@ -69,7 +84,11 @@ impl Program for CsLoop {
 }
 
 fn world(chips: usize, seed: u64) -> World {
-    World::new(MachineConfig::model_a(chips), Box::new(SsbBackend::new()), seed)
+    World::new(
+        MachineConfig::model_a(chips),
+        Box::new(SsbBackend::new()),
+        seed,
+    )
 }
 
 #[test]
@@ -90,9 +109,16 @@ fn readers_share() {
     let lock = w.mach().alloc().alloc_line();
     for _ in 0..6 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
             Action::Compute(30_000),
-            Action::Release { lock, mode: Mode::Read },
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
         ])));
     }
     w.run_to_completion();
@@ -121,23 +147,36 @@ fn trylock_expires() {
     let result = Rc::new(RefCell::new(None));
     let r2 = result.clone();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(60_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     let mut stage = 0;
-    w.spawn(Box::new(FnProgram(move |_: &mut Ctx<'_>, outcome: Outcome| {
-        stage += 1;
-        match stage {
-            1 => Action::Compute(2_000),
-            2 => Action::Acquire { lock, mode: Mode::Write, try_for: Some(5_000) },
-            3 => {
-                *r2.borrow_mut() = Some(outcome);
-                Action::Done
+    w.spawn(Box::new(FnProgram(
+        move |_: &mut Ctx<'_>, outcome: Outcome| {
+            stage += 1;
+            match stage {
+                1 => Action::Compute(2_000),
+                2 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: Some(5_000),
+                },
+                3 => {
+                    *r2.borrow_mut() = Some(outcome);
+                    Action::Done
+                }
+                _ => Action::Done,
             }
-            _ => Action::Done,
-        }
-    })));
+        },
+    )));
     w.run_to_completion();
     assert_eq!(*result.borrow(), Some(Outcome::Failed));
 }
@@ -153,9 +192,16 @@ fn reader_preference_can_starve_writers_temporarily() {
     for i in 0..4u64 {
         w.spawn(Box::new(ScriptProgram::new(vec![
             Action::Compute(1 + i * 4_000),
-            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
             Action::Compute(20_000),
-            Action::Release { lock, mode: Mode::Read },
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
         ])));
     }
     let wg = writer_granted.clone();
@@ -164,10 +210,17 @@ fn reader_preference_can_starve_writers_temporarily() {
         stage += 1;
         match stage {
             1 => Action::Compute(2_000),
-            2 => Action::Acquire { lock, mode: Mode::Write, try_for: None },
+            2 => Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            },
             3 => {
                 *wg.borrow_mut() = Some(ctx.now.cycles());
-                Action::Release { lock, mode: Mode::Write }
+                Action::Release {
+                    lock,
+                    mode: Mode::Write,
+                }
             }
             _ => Action::Done,
         }

@@ -184,7 +184,11 @@ impl TxThread {
             StmKind::Fraser => Some(2_000 + ctx.rng.below(1_000)),
             StmKind::LockBased => None,
         };
-        Action::Acquire { lock, mode, try_for }
+        Action::Acquire {
+            lock,
+            mode,
+            try_for,
+        }
     }
 
     fn release_action(&self) -> Action {
@@ -206,7 +210,11 @@ impl TxThread {
             };
             self.tx_start = ctx.now;
         }
-        self.plan = self.shared.structure.borrow().plan(self.op, ctx.rng.next_u64());
+        self.plan = self
+            .shared
+            .structure
+            .borrow()
+            .plan(self.op, ctx.rng.next_u64());
         self.versions.clear();
         self.idx = 0;
         self.applied = false;

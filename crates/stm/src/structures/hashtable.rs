@@ -31,7 +31,10 @@ impl HashTable {
         assert!(n_buckets > 0);
         HashTable {
             buckets: (0..n_buckets)
-                .map(|_| Bucket { head_obj: space.alloc(alloc), chain: Vec::new() })
+                .map(|_| Bucket {
+                    head_obj: space.alloc(alloc),
+                    chain: Vec::new(),
+                })
                 .collect(),
             len: 0,
         }
@@ -75,10 +78,20 @@ impl TxStructure for HashTable {
                 Some(i) => vec![self.buckets[b].chain[i - 1].1, self.buckets[b].chain[i].1],
             },
         };
-        Plan { reads, writes, aux: 0 }
+        Plan {
+            reads,
+            writes,
+            aux: 0,
+        }
     }
 
-    fn perform(&mut self, space: &mut ObjectSpace, alloc: &mut Alloc, op: Op, _aux: u64) -> Vec<ObjId> {
+    fn perform(
+        &mut self,
+        space: &mut ObjectSpace,
+        alloc: &mut Alloc,
+        op: Op,
+        _aux: u64,
+    ) -> Vec<ObjId> {
         let key = op.key();
         let (_, b, found) = self.search(key);
         match op {

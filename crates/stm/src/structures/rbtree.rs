@@ -51,7 +51,14 @@ impl RbTree {
 
     fn node_alloc(&mut self, space: &mut ObjectSpace, alloc: &mut Alloc, key: u64) -> usize {
         let obj = space.alloc(alloc);
-        let n = Node { key, obj, red: true, l: NIL, r: NIL, p: NIL };
+        let n = Node {
+            key,
+            obj,
+            red: true,
+            l: NIL,
+            r: NIL,
+            p: NIL,
+        };
         if let Some(idx) = self.free.pop() {
             self.nodes[idx] = n;
             idx
@@ -466,7 +473,11 @@ impl TxStructure for RbTree {
                 reads[n.saturating_sub(4)..].to_vec()
             }
         };
-        Plan { reads, writes, aux: 0 }
+        Plan {
+            reads,
+            writes,
+            aux: 0,
+        }
     }
 
     fn perform(

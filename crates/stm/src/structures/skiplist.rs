@@ -74,7 +74,11 @@ impl SkipList {
         let mut cur = NIL; // NIL = head
         for lvl in (0..self.level).rev() {
             loop {
-                let nxt = if cur == NIL { self.head[lvl] } else { self.next_of(cur, lvl) };
+                let nxt = if cur == NIL {
+                    self.head[lvl]
+                } else {
+                    self.next_of(cur, lvl)
+                };
                 if nxt != NIL && self.nodes[nxt].key < key {
                     cur = nxt;
                     let obj = self.nodes[nxt].obj;
@@ -87,7 +91,11 @@ impl SkipList {
             }
             preds[lvl] = cur;
         }
-        let candidate = if cur == NIL { self.head[0] } else { self.next_of(cur, 0) };
+        let candidate = if cur == NIL {
+            self.head[0]
+        } else {
+            self.next_of(cur, 0)
+        };
         let found = if candidate != NIL && self.nodes[candidate].key == key {
             let obj = self.nodes[candidate].obj;
             if !visited.contains(&obj) {
@@ -100,25 +108,38 @@ impl SkipList {
         (visited, preds, found)
     }
 
-    fn insert(&mut self, space: &mut ObjectSpace, alloc: &mut Alloc, key: u64, lvl: usize) -> Vec<ObjId> {
+    fn insert(
+        &mut self,
+        space: &mut ObjectSpace,
+        alloc: &mut Alloc,
+        key: u64,
+        lvl: usize,
+    ) -> Vec<ObjId> {
         let (_, preds, found) = self.search(key);
         if found != NIL {
             return Vec::new();
         }
         let mut touched = Vec::new();
         let obj = space.alloc(alloc);
-        let mut node = Node { key, obj, next: vec![NIL; lvl] };
+        let mut node = Node {
+            key,
+            obj,
+            next: vec![NIL; lvl],
+        };
         let idx = if let Some(i) = self.free.pop() {
             i
         } else {
-            self.nodes.push(Node { key: 0, obj, next: Vec::new() });
+            self.nodes.push(Node {
+                key: 0,
+                obj,
+                next: Vec::new(),
+            });
             self.nodes.len() - 1
         };
         if lvl > self.level {
             self.level = lvl;
         }
-        for l in 0..lvl {
-            let pred = preds[l];
+        for (l, &pred) in preds.iter().enumerate().take(lvl) {
             if pred == NIL {
                 node.next[l] = self.head[l];
                 self.head[l] = idx;
@@ -149,8 +170,7 @@ impl SkipList {
         }
         let mut touched = vec![self.nodes[found].obj];
         let height = self.nodes[found].next.len();
-        for l in 0..height {
-            let pred = preds[l];
+        for (l, &pred) in preds.iter().enumerate().take(height) {
             let nxt = self.nodes[found].next[l];
             if pred == NIL {
                 if self.head[l] == found {
@@ -186,8 +206,12 @@ impl TxStructure for SkipList {
             Op::Insert(_) => {
                 let lvl = Self::level_from_seed(aux_seed);
                 let mut w = Vec::new();
-                for l in 0..lvl {
-                    let obj = if preds[l] == NIL { self.head_obj } else { self.nodes[preds[l]].obj };
+                for &pred in preds.iter().take(lvl) {
+                    let obj = if pred == NIL {
+                        self.head_obj
+                    } else {
+                        self.nodes[pred].obj
+                    };
                     if !w.contains(&obj) {
                         w.push(obj);
                     }
@@ -197,8 +221,12 @@ impl TxStructure for SkipList {
             Op::Delete(_) if found == NIL => (Vec::new(), 0),
             Op::Delete(_) => {
                 let mut w = vec![self.nodes[found].obj];
-                for l in 0..self.nodes[found].next.len() {
-                    let obj = if preds[l] == NIL { self.head_obj } else { self.nodes[preds[l]].obj };
+                for &pred in preds.iter().take(self.nodes[found].next.len()) {
+                    let obj = if pred == NIL {
+                        self.head_obj
+                    } else {
+                        self.nodes[pred].obj
+                    };
                     if !w.contains(&obj) {
                         w.push(obj);
                     }
@@ -209,7 +237,13 @@ impl TxStructure for SkipList {
         Plan { reads, writes, aux }
     }
 
-    fn perform(&mut self, space: &mut ObjectSpace, alloc: &mut Alloc, op: Op, aux: u64) -> Vec<ObjId> {
+    fn perform(
+        &mut self,
+        space: &mut ObjectSpace,
+        alloc: &mut Alloc,
+        op: Op,
+        aux: u64,
+    ) -> Vec<ObjId> {
         match op {
             Op::Lookup(_) => Vec::new(),
             Op::Insert(k) => self.insert(space, alloc, k, (aux.max(1) as usize).min(MAX_LEVEL)),

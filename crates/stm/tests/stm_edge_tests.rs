@@ -189,10 +189,20 @@ fn phase_accounting_is_consistent() {
         let stats = Rc::new(RefCell::new(TxStats::default()));
         let mut w = World::new(MachineConfig::model_a(8), Box::new(LcuBackend::new()), 7);
         for _ in 0..4 {
-            w.spawn(Box::new(TxThread::new(kind, shared.clone(), stats.clone(), 15, 75, 128)));
+            w.spawn(Box::new(TxThread::new(
+                kind,
+                shared.clone(),
+                stats.clone(),
+                15,
+                75,
+                128,
+            )));
         }
         w.run_to_completion();
         let s = *stats.borrow();
-        assert!(s.total_cycles >= s.read_cycles + s.commit_cycles, "{kind:?}: {s:?}");
+        assert!(
+            s.total_cycles >= s.read_cycles + s.commit_cycles,
+            "{kind:?}: {s:?}"
+        );
     }
 }

@@ -8,8 +8,7 @@ use locksim_core::LcuBackend;
 use locksim_machine::{Alloc, LockBackend, MachineConfig, World};
 use locksim_ssb::SsbBackend;
 use locksim_stm::{
-    HashTable, ObjectSpace, Op, RbTree, SkipList, StmKind, TxShared, TxStats, TxStructure,
-    TxThread,
+    HashTable, ObjectSpace, Op, RbTree, SkipList, StmKind, TxShared, TxStats, TxStructure, TxThread,
 };
 use locksim_swlocks::{SwAlg, SwLockBackend};
 

@@ -44,7 +44,9 @@ pub struct SwLockBackend {
 
 impl std::fmt::Debug for SwLockBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SwLockBackend").field("alg", &self.alg).finish()
+        f.debug_struct("SwLockBackend")
+            .field("alg", &self.alg)
+            .finish()
     }
 }
 
@@ -59,7 +61,9 @@ impl SwLockBackend {
 
     /// Re-reads whatever a waiting thread spins on (fresh watch included).
     fn redrive(&mut self, m: &mut Mach, t: ThreadId) {
-        let Some(tsm) = self.st.threads.get(&t) else { return };
+        let Some(tsm) = self.st.threads.get(&t) else {
+            return;
+        };
         match tsm.phase {
             Phase::TatasWait => {
                 let lock = tsm.lock;
@@ -77,7 +81,9 @@ impl SwLockBackend {
     }
 
     fn dispatch(&mut self, m: &mut Mach, t: ThreadId, step: Step) {
-        let Some(tsm) = self.st.threads.get(&t) else { return };
+        let Some(tsm) = self.st.threads.get(&t) else {
+            return;
+        };
         match tsm.phase {
             Phase::TasRmw
             | Phase::TasUndo
@@ -113,7 +119,14 @@ impl LockBackend for SwLockBackend {
         self.alg.label()
     }
 
-    fn on_acquire(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode, try_for: Option<Cycles>) {
+    fn on_acquire(
+        &mut self,
+        m: &mut Mach,
+        t: ThreadId,
+        lock: Addr,
+        mode: Mode,
+        try_for: Option<Cycles>,
+    ) {
         assert!(
             !self.st.threads.contains_key(&t),
             "{t:?} already mid-operation"
@@ -154,14 +167,12 @@ impl LockBackend for SwLockBackend {
         );
         // The critical section ends here; record it before the release's
         // memory traffic races the next owner's grant messages.
-        self.st.checker.on_release(lock, t, mode);
+        self.st.checker.on_release_traced(lock, t, mode, m.tracer());
         self.st
             .threads
             .insert(t, tas::new_tsm(lock, mode, OpKind::Release));
         match (self.alg, mode) {
-            (SwAlg::Tas | SwAlg::Tatas | SwAlg::Posix, _) => {
-                tas::start_release(&mut self.st, m, t)
-            }
+            (SwAlg::Tas | SwAlg::Tatas | SwAlg::Posix, _) => tas::start_release(&mut self.st, m, t),
             (SwAlg::Mcs, _) => mcs::start_release(&mut self.st, m, t),
             (SwAlg::Mrsw, Mode::Read) => mrsw::start_release_read(&mut self.st, m, t),
             (SwAlg::Mrsw, Mode::Write) => mrsw::start_release_write(&mut self.st, m, t),
@@ -177,14 +188,20 @@ impl LockBackend for SwLockBackend {
     }
 
     fn on_timer(&mut self, m: &mut Mach, token: u64) {
-        let Some((t, purpose)) = self.st.timers.remove(&token) else { return };
+        let Some((t, purpose)) = self.st.timers.remove(&token) else {
+            return;
+        };
         match purpose {
             TimerPurpose::Park => self.dispatch(m, t, Step::Timer),
             TimerPurpose::Fallback(phase) => {
                 // Only meaningful if the thread is still stuck in the same
                 // wait phase (the wake may have been lost to a message
                 // race); otherwise it is a stale no-op.
-                let stuck = self.st.threads.get(&t).is_some_and(|tsm| tsm.phase == phase);
+                let stuck = self
+                    .st
+                    .threads
+                    .get(&t)
+                    .is_some_and(|tsm| tsm.phase == phase);
                 if stuck {
                     self.st.counters.incr("sw_fallback_redrives");
                     self.redrive(m, t);

@@ -38,7 +38,9 @@ pub(crate) fn start_release(st: &mut SwState, m: &mut Mach, t: ThreadId) {
 /// queue grants: plain MCS grants the lock; an MRSW writer proceeds to set
 /// the writer-active flag and drain readers.
 pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, mrsw_writer: bool) {
-    let Some(tsm) = st.threads.get_mut(&t) else { return };
+    let Some(tsm) = st.threads.get_mut(&t) else {
+        return;
+    };
     let q = tsm.qnode;
     let tail = Addr(tsm.scratch);
     match (tsm.phase, step) {
@@ -89,7 +91,15 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, m
                 write(m, t, Addr(next).add(1), 0);
             } else {
                 tsm.phase = Phase::McsRelCas;
-                rmw(m, t, tail, RmwOp::CompareSwap { expect: q.0, new: 0 });
+                rmw(
+                    m,
+                    t,
+                    tail,
+                    RmwOp::CompareSwap {
+                        expect: q.0,
+                        new: 0,
+                    },
+                );
             }
         }
         (Phase::McsRelCas, Step::Value(old)) => {
@@ -133,7 +143,9 @@ fn mcs_acquired(st: &mut SwState, m: &mut Mach, t: ThreadId, mrsw_writer: bool) 
 /// Re-drives a spin phase after the thread was rescheduled (its watch may
 /// have been lost across a preemption or migration).
 pub(crate) fn redrive(st: &mut SwState, m: &mut Mach, t: ThreadId) {
-    let Some(tsm) = st.threads.get_mut(&t) else { return };
+    let Some(tsm) = st.threads.get_mut(&t) else {
+        return;
+    };
     let q = tsm.qnode;
     match tsm.phase {
         Phase::McsSpinWait => {

@@ -125,7 +125,15 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step) {
             } else {
                 tsm.phase = Phase::MrswWRelCas;
                 let q = tsm.qnode;
-                rmw(m, t, lm.tail, RmwOp::CompareSwap { expect: q.0, new: 0 });
+                rmw(
+                    m,
+                    t,
+                    lm.tail,
+                    RmwOp::CompareSwap {
+                        expect: q.0,
+                        new: 0,
+                    },
+                );
             }
         }
         (Phase::MrswWRelCas, Step::Value(old)) => {

@@ -212,7 +212,8 @@ impl SwState {
     pub fn grant(&mut self, m: &mut Mach, t: ThreadId) {
         let tsm = self.threads.remove(&t).expect("grant without op");
         debug_assert_eq!(tsm.op, OpKind::Acquire);
-        self.checker.on_grant(tsm.lock, t, tsm.mode);
+        self.checker
+            .on_grant_traced(tsm.lock, t, tsm.mode, m.tracer());
         self.counters.incr("sw_grants");
         m.grant_lock(t);
     }
@@ -229,7 +230,10 @@ impl SwState {
     /// release; the store's completion message can legitimately arrive
     /// after the next owner's grant.)
     pub fn released(&mut self, m: &mut Mach, t: ThreadId) {
-        let tsm = self.threads.remove(&t).expect("release completion without op");
+        let tsm = self
+            .threads
+            .remove(&t)
+            .expect("release completion without op");
         debug_assert_eq!(tsm.op, OpKind::Release);
         self.counters.incr("sw_releases");
         m.complete_release(t);

@@ -37,7 +37,9 @@ pub(crate) fn start_release(st: &mut SwState, m: &mut Mach, t: ThreadId) {
 
 /// Advances the TAS/TATAS/Posix machine. `posix` enables parking.
 pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, posix: bool) {
-    let Some(tsm) = st.threads.get_mut(&t) else { return };
+    let Some(tsm) = st.threads.get_mut(&t) else {
+        return;
+    };
     let lock = tsm.lock;
     match (tsm.phase, step) {
         (Phase::TasRmw, Step::Value(old)) => {
@@ -123,7 +125,9 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, p
 /// Marks a pending acquire as aborted; the machine unwinds at its next
 /// step. Spinners parked on a watch or timer are failed immediately.
 pub(crate) fn abort(st: &mut SwState, m: &mut Mach, t: ThreadId) {
-    let Some(tsm) = st.threads.get_mut(&t) else { return };
+    let Some(tsm) = st.threads.get_mut(&t) else {
+        return;
+    };
     match tsm.phase {
         Phase::TatasWait | Phase::PosixParked => {
             st.fail(m, t);

@@ -23,7 +23,16 @@ struct CsLoop {
 
 impl CsLoop {
     fn new(lock: Addr, counter: Addr, iters: u32, write_pct: u32) -> Self {
-        CsLoop { lock, counter, iters, write_pct, i: 0, stage: 0, val: 0, is_writer: false }
+        CsLoop {
+            lock,
+            counter,
+            iters,
+            write_pct,
+            i: 0,
+            stage: 0,
+            val: 0,
+            is_writer: false,
+        }
     }
 }
 
@@ -37,15 +46,25 @@ impl Program for CsLoop {
                     }
                     self.is_writer = ctx.rng.below(100) < self.write_pct as u64;
                     self.stage = 1;
-                    let mode = if self.is_writer { Mode::Write } else { Mode::Read };
-                    return Action::Acquire { lock: self.lock, mode, try_for: None };
+                    let mode = if self.is_writer {
+                        Mode::Write
+                    } else {
+                        Mode::Read
+                    };
+                    return Action::Acquire {
+                        lock: self.lock,
+                        mode,
+                        try_for: None,
+                    };
                 }
                 1 => {
                     self.stage = 2;
                     return Action::Read(self.counter);
                 }
                 2 => {
-                    let Outcome::Value(v) = outcome else { panic!("expected value") };
+                    let Outcome::Value(v) = outcome else {
+                        panic!("expected value")
+                    };
                     self.val = v;
                     self.stage = 3;
                     return Action::Compute(50);
@@ -59,8 +78,15 @@ impl Program for CsLoop {
                 }
                 4 => {
                     self.stage = 5;
-                    let mode = if self.is_writer { Mode::Write } else { Mode::Read };
-                    return Action::Release { lock: self.lock, mode };
+                    let mode = if self.is_writer {
+                        Mode::Write
+                    } else {
+                        Mode::Read
+                    };
+                    return Action::Release {
+                        lock: self.lock,
+                        mode,
+                    };
                 }
                 5 => {
                     self.i += 1;
@@ -90,7 +116,11 @@ fn mutex_counter_test(alg: SwAlg) {
         w.spawn(Box::new(CsLoop::new(lock, counter, N, 100)));
     }
     w.run_to_completion();
-    assert_eq!(w.mach().mem_peek(counter), 8 * N as u64, "{alg:?} lost updates");
+    assert_eq!(
+        w.mach().mem_peek(counter),
+        8 * N as u64,
+        "{alg:?} lost updates"
+    );
 }
 
 #[test]
@@ -140,9 +170,16 @@ fn mrsw_readers_overlap() {
     let lock = w.mach().alloc().alloc_line();
     for _ in 0..6 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
             Action::Compute(30_000),
-            Action::Release { lock, mode: Mode::Read },
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
         ])));
     }
     w.run_to_completion();
@@ -176,8 +213,8 @@ fn mcs_local_spin_beats_tas_messaging_under_contention() {
             w.spawn(Box::new(CsLoop::new(lock, counter, 10, 100)));
         }
         w.run_to_completion();
-        let msgs = w.report_counters().get("net_control_msgs")
-            + w.report_counters().get("net_data_msgs");
+        let msgs =
+            w.report_counters().get("net_control_msgs") + w.report_counters().get("net_data_msgs");
         (w.mach().now().cycles(), msgs)
     };
     let (_t_tas, m_tas) = run(SwAlg::Tas);
@@ -195,24 +232,44 @@ fn tatas_trylock_fails_and_recovers() {
     let result = Rc::new(RefCell::new(None));
     let r2 = result.clone();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(60_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     let mut stage = 0;
-    w.spawn(Box::new(FnProgram(move |_: &mut Ctx<'_>, outcome: Outcome| {
-        stage += 1;
-        match stage {
-            1 => Action::Compute(2_000),
-            2 => Action::Acquire { lock, mode: Mode::Write, try_for: Some(5_000) },
-            3 => {
-                *r2.borrow_mut() = Some(outcome);
-                Action::Acquire { lock, mode: Mode::Write, try_for: None }
+    w.spawn(Box::new(FnProgram(
+        move |_: &mut Ctx<'_>, outcome: Outcome| {
+            stage += 1;
+            match stage {
+                1 => Action::Compute(2_000),
+                2 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: Some(5_000),
+                },
+                3 => {
+                    *r2.borrow_mut() = Some(outcome);
+                    Action::Acquire {
+                        lock,
+                        mode: Mode::Write,
+                        try_for: None,
+                    }
+                }
+                4 => Action::Release {
+                    lock,
+                    mode: Mode::Write,
+                },
+                _ => Action::Done,
             }
-            4 => Action::Release { lock, mode: Mode::Write },
-            _ => Action::Done,
-        }
-    })));
+        },
+    )));
     w.run_to_completion();
     assert_eq!(*result.borrow(), Some(Outcome::Failed));
     assert_eq!(w.report_counters().get("locks_granted"), 2);
@@ -223,8 +280,15 @@ fn tas_trylock_success_path() {
     let mut w = world(SwAlg::Tas, 2, 7);
     let lock = w.mach().alloc().alloc_line();
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: Some(10_000) },
-        Action::Release { lock, mode: Mode::Write },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: Some(10_000),
+        },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     w.run_to_completion();
     assert_eq!(w.report_counters().get("locks_granted"), 1);
@@ -242,12 +306,19 @@ fn mcs_fifo_order() {
             stage += 1;
             match stage {
                 1 => Action::Compute(1 + i as u64 * 5_000),
-                2 => Action::Acquire { lock, mode: Mode::Write, try_for: None },
+                2 => Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: None,
+                },
                 3 => {
                     order.borrow_mut().push(ctx.tid.0);
                     Action::Compute(40_000)
                 }
-                4 => Action::Release { lock, mode: Mode::Write },
+                4 => Action::Release {
+                    lock,
+                    mode: Mode::Write,
+                },
                 _ => Action::Done,
             }
         })));
@@ -297,8 +368,15 @@ fn uncontended_reacquire_is_cache_hit_fast() {
     let lock = w.mach().alloc().alloc_line();
     let mut script = Vec::new();
     for _ in 0..50 {
-        script.push(Action::Acquire { lock, mode: Mode::Write, try_for: None });
-        script.push(Action::Release { lock, mode: Mode::Write });
+        script.push(Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        });
+        script.push(Action::Release {
+            lock,
+            mode: Mode::Write,
+        });
     }
     w.spawn(Box::new(ScriptProgram::new(script)));
     w.run_to_completion();

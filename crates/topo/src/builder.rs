@@ -74,7 +74,8 @@ impl TopoBuilder {
         // Two directed links.
         for (src, dst) in [(a, b), (b, a)] {
             let idx = self.links.len();
-            self.links.push(Link::new(src, dst, latency, cycles_per_flit));
+            self.links
+                .push(Link::new(src, dst, latency, cycles_per_flit));
             self.adj[src].push((dst, idx));
         }
     }

@@ -1,0 +1,10 @@
+//! Structured observability for the simulator: a zero-cost-when-disabled
+//! event trace plus a metrics registry.
+
+pub mod metrics;
+pub mod record;
+pub mod tracer;
+
+pub use metrics::{LatencyHist, MetricsRegistry, MetricsSnapshot};
+pub use record::{Ep, TraceEvent, TraceKind};
+pub use tracer::Tracer;

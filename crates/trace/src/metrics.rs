@@ -1,0 +1,221 @@
+//! The metrics registry: named counters plus latency histograms with
+//! p50/p95/p99 summaries.
+//!
+//! Counters reuse [`locksim_engine::stats::Counters`] (the type every
+//! backend already reports), so the registry slots into the existing
+//! `report_counters()` flow; histograms reuse the engine's log-scaled
+//! [`Histogram`]. A [`MetricsSnapshot`] is an owned, deterministic rendering
+//! of both — used by the harness for its metrics tables and by the golden
+//! determinism tests, which compare snapshots byte-for-byte.
+
+use std::collections::BTreeMap;
+
+use locksim_engine::stats::{Counters, Histogram};
+
+/// A named latency histogram summarised by count and approximate quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHist {
+    hist: Histogram,
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Records one latency sample (in cycles).
+    pub fn observe(&mut self, cycles: u64) {
+        self.hist.add(cycles);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Approximate quantile (bucket low bound); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.hist.quantile(q)
+    }
+
+    /// The underlying log-scaled histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Central store for a run's counters and latency histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Counters,
+    hists: BTreeMap<&'static str, LatencyHist>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter bundle (for reading and merging).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable access for components that count through the registry.
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Increments counter `name`.
+    pub fn incr(&mut self, name: &'static str) {
+        self.counters.incr(name);
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.counters.add(name, n);
+    }
+
+    /// Records a latency sample into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, cycles: u64) {
+        self.hists.entry(name).or_default().observe(cycles);
+    }
+
+    /// Histogram `name`, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&LatencyHist> {
+        self.hists.get(name)
+    }
+
+    /// Iterates `(name, histogram)` in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &LatencyHist)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Owned summary of everything recorded, merged with `extra` counter
+    /// bundles (backend/directory counters reported at end of run).
+    pub fn snapshot<'a>(&self, extra: impl IntoIterator<Item = &'a Counters>) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        for c in extra {
+            counters.merge(c);
+        }
+        let hists = self
+            .hists
+            .iter()
+            .map(|(&name, h)| HistSummary {
+                name,
+                count: h.count(),
+                p50: h.quantile(0.50).unwrap_or(0),
+                p95: h.quantile(0.95).unwrap_or(0),
+                p99: h.quantile(0.99).unwrap_or(0),
+            })
+            .collect();
+        MetricsSnapshot { counters, hists }
+    }
+}
+
+/// Quantile summary of one named histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Number of samples.
+    pub count: u64,
+    /// Median (bucket low bound).
+    pub p50: u64,
+    /// 95th percentile (bucket low bound).
+    pub p95: u64,
+    /// 99th percentile (bucket low bound).
+    pub p99: u64,
+}
+
+/// Owned, deterministic end-of-run summary: all counters (name order) and
+/// all histogram quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Merged counters, iterated in name order.
+    pub counters: Counters,
+    /// Histogram summaries, in name order.
+    pub hists: Vec<HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Canonical text rendering; byte-identical across same-seed runs (the
+    /// golden determinism tests compare this string).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters.iter() {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for h in &self.hists {
+            out.push_str(&format!(
+                "hist {} count {} p50 {} p95 {} p99 {}\n",
+                h.name, h.count, h.p50, h.p95, h.p99
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_and_quantiles() {
+        let mut m = MetricsRegistry::new();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            m.observe("wait", v);
+        }
+        let h = m.hist("wait").unwrap();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.99), Some(512));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = LatencyHist::new();
+        assert_eq!(empty.quantile(0.5), None);
+        let mut one = LatencyHist::new();
+        one.observe(7);
+        // A single sample is every quantile, including the extremes.
+        assert_eq!(one.quantile(0.0), Some(4));
+        assert_eq!(one.quantile(0.5), Some(4));
+        assert_eq!(one.quantile(1.0), Some(4));
+        let mut zeros = LatencyHist::new();
+        zeros.observe(0);
+        zeros.observe(0);
+        assert_eq!(zeros.quantile(0.99), Some(1)); // bucket 0 renders low bound 1
+    }
+
+    #[test]
+    fn snapshot_merges_extra_counters_and_renders_deterministically() {
+        let mut m = MetricsRegistry::new();
+        m.incr("a");
+        m.add("b", 3);
+        m.observe("lat", 16);
+        let mut backend = Counters::new();
+        backend.add("b", 2);
+        backend.add("c", 1);
+        let snap = m.snapshot([&backend]);
+        assert_eq!(snap.counters.get("b"), 5);
+        assert_eq!(snap.counters.get("c"), 1);
+        let r = snap.render();
+        assert_eq!(
+            r,
+            "counter a 1\ncounter b 5\ncounter c 1\nhist lat count 1 p50 16 p95 16 p99 16\n"
+        );
+        // Identical input → identical rendering.
+        assert_eq!(r, m.snapshot([&backend]).render());
+    }
+}

@@ -146,7 +146,11 @@ impl Program for FluidThread {
                     let value = ctx.rng.below(self.cfg.values_per_cell as u64) as usize;
                     self.cur_lock = self.grid.lock_for(owner, cell, value);
                     self.stage = 1;
-                    Action::Acquire { lock: self.cur_lock, mode: Mode::Write, try_for: None }
+                    Action::Acquire {
+                        lock: self.cur_lock,
+                        mode: Mode::Write,
+                        try_for: None,
+                    }
                 }
                 1 => {
                     self.stage = 2;
@@ -154,7 +158,10 @@ impl Program for FluidThread {
                 }
                 2 => {
                     self.stage = 3;
-                    Action::Release { lock: self.cur_lock, mode: Mode::Write }
+                    Action::Release {
+                        lock: self.cur_lock,
+                        mode: Mode::Write,
+                    }
                 }
                 3 => {
                     self.done += 1;
@@ -200,7 +207,11 @@ impl Program for CholeskyThread {
             match self.stage {
                 0 => {
                     self.stage = 1;
-                    Action::Acquire { lock: self.queue_lock, mode: Mode::Write, try_for: None }
+                    Action::Acquire {
+                        lock: self.queue_lock,
+                        mode: Mode::Write,
+                        try_for: None,
+                    }
                 }
                 1 => {
                     // Dequeue (brief).
@@ -218,7 +229,10 @@ impl Program for CholeskyThread {
                 }
                 2 => {
                     self.stage = 3;
-                    Action::Release { lock: self.queue_lock, mode: Mode::Write }
+                    Action::Release {
+                        lock: self.queue_lock,
+                        mode: Mode::Write,
+                    }
                 }
                 3 => {
                     self.stage = 0;
@@ -227,7 +241,10 @@ impl Program for CholeskyThread {
                 }
                 4 => {
                     self.stage = 5;
-                    Action::Release { lock: self.queue_lock, mode: Mode::Write }
+                    Action::Release {
+                        lock: self.queue_lock,
+                        mode: Mode::Write,
+                    }
                 }
                 _ => Action::Done,
             }
@@ -286,7 +303,11 @@ impl Program for RadiosityThread {
                     };
                     self.cur_lock = self.queue_locks[victim];
                     self.stage = 1;
-                    Action::Acquire { lock: self.cur_lock, mode: Mode::Write, try_for: None }
+                    Action::Acquire {
+                        lock: self.cur_lock,
+                        mode: Mode::Write,
+                        try_for: None,
+                    }
                 }
                 1 => {
                     self.stage = 2;
@@ -295,7 +316,10 @@ impl Program for RadiosityThread {
                 }
                 2 => {
                     self.stage = 3;
-                    Action::Release { lock: self.cur_lock, mode: Mode::Write }
+                    Action::Release {
+                        lock: self.cur_lock,
+                        mode: Mode::Write,
+                    }
                 }
                 3 => {
                     self.done += 1;

@@ -11,7 +11,5 @@
 pub mod apps;
 pub mod microbench;
 
-pub use apps::{
-    CholeskyThread, FluidConfig, FluidGrid, FluidThread, RadiosityThread,
-};
+pub use apps::{CholeskyThread, FluidConfig, FluidGrid, FluidThread, RadiosityThread};
 pub use microbench::{CsThread, IterPool};

@@ -21,7 +21,9 @@ pub struct IterPool {
 impl IterPool {
     /// Creates a pool of `total` iterations.
     pub fn new(total: u64) -> Rc<Self> {
-        Rc::new(IterPool { remaining: RefCell::new(total) })
+        Rc::new(IterPool {
+            remaining: RefCell::new(total),
+        })
     }
 
     fn take(&self) -> bool {
@@ -88,8 +90,16 @@ impl Program for CsThread {
                     }
                     self.is_writer = ctx.rng.below(100) < u64::from(self.write_pct);
                     self.stage = 1;
-                    let mode = if self.is_writer { Mode::Write } else { Mode::Read };
-                    return Action::Acquire { lock: self.lock, mode, try_for: None };
+                    let mode = if self.is_writer {
+                        Mode::Write
+                    } else {
+                        Mode::Read
+                    };
+                    return Action::Acquire {
+                        lock: self.lock,
+                        mode,
+                        try_for: None,
+                    };
                 }
                 1 => {
                     if self.touch_data {
@@ -100,7 +110,9 @@ impl Program for CsThread {
                     continue;
                 }
                 2 => {
-                    let Outcome::Value(v) = outcome else { panic!("expected value") };
+                    let Outcome::Value(v) = outcome else {
+                        panic!("expected value")
+                    };
                     self.val = v;
                     self.stage = 3;
                     continue;
@@ -120,8 +132,15 @@ impl Program for CsThread {
                 }
                 5 => {
                     self.stage = 6;
-                    let mode = if self.is_writer { Mode::Write } else { Mode::Read };
-                    return Action::Release { lock: self.lock, mode };
+                    let mode = if self.is_writer {
+                        Mode::Write
+                    } else {
+                        Mode::Read
+                    };
+                    return Action::Release {
+                        lock: self.lock,
+                        mode,
+                    };
                 }
                 6 => {
                     self.stage = 0;

@@ -73,7 +73,10 @@ fn fluid_kernel_completes_on_both_granularities() {
             Box::new(SwLockBackend::new(SwAlg::Posix))
         };
         let mut w = World::new(MachineConfig::model_a(8), backend, 4);
-        let cfg = FluidConfig { updates: 50, ..FluidConfig::default() };
+        let cfg = FluidConfig {
+            updates: 50,
+            ..FluidConfig::default()
+        };
         let grid = {
             let alloc = w.mach().alloc();
             FluidGrid::new(alloc, 8, &cfg, fine)
@@ -105,7 +108,11 @@ fn cholesky_consumes_every_task_once() {
 
 #[test]
 fn radiosity_mostly_hits_own_queue() {
-    let mut w = World::new(MachineConfig::model_a(8), Box::new(SwLockBackend::new(SwAlg::Tatas)), 6);
+    let mut w = World::new(
+        MachineConfig::model_a(8),
+        Box::new(SwLockBackend::new(SwAlg::Tatas)),
+        6,
+    );
     let locks: Rc<Vec<_>> = Rc::new((0..8).map(|_| w.mach().alloc().alloc_line()).collect());
     for t in 0..8 {
         w.spawn(Box::new(RadiosityThread::new(locks.clone(), t, 100, 3)));

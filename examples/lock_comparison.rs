@@ -21,7 +21,10 @@ fn main() {
         BackendKind::Sw(SwAlg::Posix),
     ];
     println!("16 threads, Model A, 5000 critical sections, 100% / 25% writes\n");
-    println!("{:<8} {:>14} {:>14}", "backend", "cy/CS (100%W)", "cy/CS (25%W)");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "backend", "cy/CS (100%W)", "cy/CS (25%W)"
+    );
     for b in backends {
         let w100 = run_microbench(ModelSel::A, b, 16, 100, 5_000, 42).cycles_per_cs;
         // Only reader-writer capable backends run the 25%-writes mix.
@@ -30,7 +33,10 @@ fn main() {
             BackendKind::Ideal | BackendKind::Lcu | BackendKind::Ssb | BackendKind::Sw(SwAlg::Mrsw)
         );
         let w25 = if rw {
-            format!("{:14.1}", run_microbench(ModelSel::A, b, 16, 25, 5_000, 42).cycles_per_cs)
+            format!(
+                "{:14.1}",
+                run_microbench(ModelSel::A, b, 16, 25, 5_000, 42).cycles_per_cs
+            )
         } else {
             format!("{:>14}", "-")
         };

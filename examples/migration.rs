@@ -16,16 +16,30 @@ fn main() {
 
     // t0 takes the lock and holds it for 60k cycles.
     w.spawn(Box::new(ScriptProgram::new(vec![
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(60_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
     // t1 queues behind it.
     w.spawn(Box::new(ScriptProgram::new(vec![
         Action::Compute(1_000),
-        Action::Acquire { lock, mode: Mode::Write, try_for: None },
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
         Action::Compute(1_000),
-        Action::Release { lock, mode: Mode::Write },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
     ])));
 
     // Let both threads reach steady state, then migrate them:
@@ -42,8 +56,15 @@ fn main() {
     println!("simulated cycles        : {}", w.mach().now());
     println!("locks granted           : {}", c.get("locks_granted"));
     println!("migrations              : {}", c.get("migrations"));
-    println!("remote releases sent    : {}", c.get("lcu_remote_release_sent"));
+    println!(
+        "remote releases sent    : {}",
+        c.get("lcu_remote_release_sent")
+    );
     println!("requests re-issued      : {}", c.get("lcu_reissues"));
     println!("grant timeouts          : {}", c.get("lcu_grant_timeouts"));
-    assert_eq!(c.get("locks_granted"), 2, "both threads must still get the lock");
+    assert_eq!(
+        c.get("locks_granted"),
+        2,
+        "both threads must still get the lock"
+    );
 }

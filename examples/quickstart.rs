@@ -20,25 +20,42 @@ fn main() {
     // sections overlap), then two writers that serialize.
     for _ in 0..6 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Read, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
             Action::Read(counter),
             Action::Compute(5_000),
-            Action::Release { lock, mode: Mode::Read },
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
         ])));
     }
     for _ in 0..2 {
         w.spawn(Box::new(ScriptProgram::new(vec![
-            Action::Acquire { lock, mode: Mode::Write, try_for: None },
+            Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            },
             Action::Write(counter, 1),
             Action::Compute(5_000),
-            Action::Release { lock, mode: Mode::Write },
+            Action::Release {
+                lock,
+                mode: Mode::Write,
+            },
         ])));
     }
 
     w.run_to_completion();
 
     println!("simulated cycles : {}", w.mach().now());
-    println!("locks granted    : {}", w.report_counters().get("locks_granted"));
+    println!(
+        "locks granted    : {}",
+        w.report_counters().get("locks_granted")
+    );
     println!(
         "direct transfers : {}",
         w.report_counters().get("lcu_direct_transfers")

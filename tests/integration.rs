@@ -6,22 +6,49 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use locksim::core::LcuBackend;
-use locksim::harness::{run_app, run_microbench, run_stm, AppSel, BackendKind, ModelSel, StmVariant, StructSel};
+use locksim::harness::{
+    run_app, run_microbench, run_stm, AppSel, BackendKind, ModelSel, StmVariant, StructSel,
+};
 use locksim::machine::testing::ScriptProgram;
 use locksim::machine::{Action, LockBackend, MachineConfig, Mode, World};
 use locksim::ssb::SsbBackend;
-use locksim::stm::{ObjectSpace, Op, RbTree, SkipList, StmKind, TxShared, TxStats, TxStructure, TxThread};
+use locksim::stm::{
+    ObjectSpace, Op, RbTree, SkipList, StmKind, TxShared, TxStats, TxStructure, TxThread,
+};
 use locksim::swlocks::{SwAlg, SwLockBackend};
 
-fn all_backends() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn LockBackend>>)> {
+type BackendFactory = Box<dyn Fn() -> Box<dyn LockBackend>>;
+
+fn all_backends() -> Vec<(&'static str, BackendFactory)> {
     vec![
-        ("lcu", Box::new(|| Box::new(LcuBackend::new()) as Box<dyn LockBackend>)),
-        ("ssb", Box::new(|| Box::new(SsbBackend::new()) as Box<dyn LockBackend>)),
-        ("mcs", Box::new(|| Box::new(SwLockBackend::new(SwAlg::Mcs)) as Box<dyn LockBackend>)),
-        ("mrsw", Box::new(|| Box::new(SwLockBackend::new(SwAlg::Mrsw)) as Box<dyn LockBackend>)),
-        ("tatas", Box::new(|| Box::new(SwLockBackend::new(SwAlg::Tatas)) as Box<dyn LockBackend>)),
-        ("tas", Box::new(|| Box::new(SwLockBackend::new(SwAlg::Tas)) as Box<dyn LockBackend>)),
-        ("posix", Box::new(|| Box::new(SwLockBackend::new(SwAlg::Posix)) as Box<dyn LockBackend>)),
+        (
+            "lcu",
+            Box::new(|| Box::new(LcuBackend::new()) as Box<dyn LockBackend>),
+        ),
+        (
+            "ssb",
+            Box::new(|| Box::new(SsbBackend::new()) as Box<dyn LockBackend>),
+        ),
+        (
+            "mcs",
+            Box::new(|| Box::new(SwLockBackend::new(SwAlg::Mcs)) as Box<dyn LockBackend>),
+        ),
+        (
+            "mrsw",
+            Box::new(|| Box::new(SwLockBackend::new(SwAlg::Mrsw)) as Box<dyn LockBackend>),
+        ),
+        (
+            "tatas",
+            Box::new(|| Box::new(SwLockBackend::new(SwAlg::Tatas)) as Box<dyn LockBackend>),
+        ),
+        (
+            "tas",
+            Box::new(|| Box::new(SwLockBackend::new(SwAlg::Tas)) as Box<dyn LockBackend>),
+        ),
+        (
+            "posix",
+            Box::new(|| Box::new(SwLockBackend::new(SwAlg::Posix)) as Box<dyn LockBackend>),
+        ),
     ]
 }
 
@@ -36,13 +63,20 @@ fn every_backend_provides_mutual_exclusion() {
         for _ in 0..8 {
             let mut script = Vec::new();
             for _ in 0..5 {
-                script.push(Action::Acquire { lock, mode: Mode::Write, try_for: None });
+                script.push(Action::Acquire {
+                    lock,
+                    mode: Mode::Write,
+                    try_for: None,
+                });
                 script.push(Action::Read(data));
                 script.push(Action::Compute(40));
                 // ScriptProgram ignores outcomes, so increment through an
                 // atomic instead of read+write (the lock still serializes).
                 script.push(Action::Rmw(data, locksim::machine::RmwOp::FetchAdd(1)));
-                script.push(Action::Release { lock, mode: Mode::Write });
+                script.push(Action::Release {
+                    lock,
+                    mode: Mode::Write,
+                });
             }
             w.spawn(Box::new(ScriptProgram::new(script)));
         }
@@ -68,9 +102,16 @@ fn rw_backends_allow_reader_concurrency() {
         let lock = w.mach().alloc().alloc_line();
         for _ in 0..6 {
             w.spawn(Box::new(ScriptProgram::new(vec![
-                Action::Acquire { lock, mode: Mode::Read, try_for: None },
+                Action::Acquire {
+                    lock,
+                    mode: Mode::Read,
+                    try_for: None,
+                },
                 Action::Compute(25_000),
-                Action::Release { lock, mode: Mode::Read },
+                Action::Release {
+                    lock,
+                    mode: Mode::Read,
+                },
             ])));
         }
         w.run_to_completion();
@@ -113,8 +154,26 @@ fn lcu_beats_mcs_and_survives_oversubscription() {
 /// at 16 threads with 75% read-only transactions.
 #[test]
 fn stm_lcu_speedup_over_sw_only() {
-    let sw = run_stm(ModelSel::A, StmVariant::SwOnly, StructSel::Rb, 512, 16, 20, 75, 42);
-    let lcu = run_stm(ModelSel::A, StmVariant::Lcu, StructSel::Rb, 512, 16, 20, 75, 42);
+    let sw = run_stm(
+        ModelSel::A,
+        StmVariant::SwOnly,
+        StructSel::Rb,
+        512,
+        16,
+        20,
+        75,
+        42,
+    );
+    let lcu = run_stm(
+        ModelSel::A,
+        StmVariant::Lcu,
+        StructSel::Rb,
+        512,
+        16,
+        20,
+        75,
+        42,
+    );
     let speedup = sw.cycles_per_tx / lcu.cycles_per_tx;
     assert!(speedup > 1.3, "speedup only {speedup:.2}x");
 }
@@ -123,7 +182,12 @@ fn stm_lcu_speedup_over_sw_only() {
 /// implementations when the schedule-independent checks are applied.
 #[test]
 fn stm_structures_stay_consistent_across_backends() {
-    for variant in [StmVariant::SwOnly, StmVariant::Lcu, StmVariant::Ssb, StmVariant::Fraser] {
+    for variant in [
+        StmVariant::SwOnly,
+        StmVariant::Lcu,
+        StmVariant::Ssb,
+        StmVariant::Fraser,
+    ] {
         let kind = match variant {
             StmVariant::Fraser => StmKind::Fraser,
             _ => StmKind::LockBased,
@@ -144,7 +208,14 @@ fn stm_structures_stay_consistent_across_backends() {
         let shared = TxShared::new(Box::new(sl), space, alloc);
         let stats = Rc::new(RefCell::new(TxStats::default()));
         for _ in 0..8 {
-            w.spawn(Box::new(TxThread::new(kind, shared.clone(), stats.clone(), 12, 50, 128)));
+            w.spawn(Box::new(TxThread::new(
+                kind,
+                shared.clone(),
+                stats.clone(),
+                12,
+                50,
+                128,
+            )));
         }
         w.run_to_completion();
         shared.structure.borrow().check_invariants();
@@ -171,7 +242,10 @@ fn application_kernels_follow_paper_pattern() {
     let chol_posix = run_app(AppSel::Cholesky, BackendKind::Sw(SwAlg::Posix), 5);
     let chol_lcu = run_app(AppSel::Cholesky, BackendKind::Lcu, 5);
     let ratio = chol_posix as f64 / chol_lcu as f64;
-    assert!((0.9..1.15).contains(&ratio), "cholesky should be insensitive, ratio {ratio:.2}");
+    assert!(
+        (0.9..1.15).contains(&ratio),
+        "cholesky should be insensitive, ratio {ratio:.2}"
+    );
 }
 
 /// Whole-stack determinism: an STM run over the facade reproduces its
@@ -189,7 +263,14 @@ fn whole_stack_determinism() {
         let shared = TxShared::new(Box::new(tree), space, alloc);
         let stats = Rc::new(RefCell::new(TxStats::default()));
         for _ in 0..12 {
-            w.spawn(Box::new(TxThread::new(StmKind::LockBased, shared.clone(), stats.clone(), 10, 75, 128)));
+            w.spawn(Box::new(TxThread::new(
+                StmKind::LockBased,
+                shared.clone(),
+                stats.clone(),
+                10,
+                75,
+                128,
+            )));
         }
         w.run_to_completion();
         let aborts = stats.borrow().aborts;
