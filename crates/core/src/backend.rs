@@ -308,7 +308,8 @@ impl LcuBackend {
                 cnt,
             },
         );
-        self.checker.on_grant_traced(addr, t, mode, m.tracer());
+        self.checker
+            .on_grant_traced(addr, t, mode, m.tracer(), m.lockstat());
         m.grant_lock_in(t, m.cfg().lcu_latency);
     }
 
@@ -490,6 +491,7 @@ impl LcuBackend {
         let gated = from_read_session && next.mode == Mode::Write && !next.no_ovf;
         if gated || !m.cfg().lcu_direct_transfer {
             self.counters.incr("lcu_writer_handoffs");
+            m.lockstat_bump(addr, "lcu_writer_handoffs");
             let msg = Msg::WriterHandoff {
                 addr,
                 writer: next,
@@ -499,6 +501,7 @@ impl LcuBackend {
             self.send_to_lrt(m, lcu, msg);
         } else {
             self.counters.incr("lcu_direct_transfers");
+            m.lockstat_bump(addr, "lcu_direct_transfers");
             let g = Msg::DirectGrant {
                 addr,
                 tid: next.tid,
@@ -1013,6 +1016,7 @@ impl LcuBackend {
                     ack: Some((core, tail_tid)),
                 };
                 self.counters.incr("lcu_direct_transfers");
+                m.lockstat_bump(addr, "lcu_direct_transfers");
                 self.lcu_to_lcu(m, core, req.lcu, g);
                 return;
             }
@@ -1403,7 +1407,8 @@ impl LockBackend for LcuBackend {
                         cnt,
                     },
                 );
-                self.checker.on_grant_traced(lock, t, mode, m.tracer());
+                self.checker
+                    .on_grant_traced(lock, t, mode, m.tracer(), m.lockstat());
                 m.grant_lock_in(t, m.cfg().lcu_latency);
                 return;
             }
@@ -1440,7 +1445,8 @@ impl LockBackend for LcuBackend {
             .remove(&(t, lock))
             .unwrap_or_else(|| panic!("{t:?} releasing {lock} it does not hold"));
         debug_assert_eq!(held.mode, mode, "release mode mismatch");
-        self.checker.on_release_traced(lock, t, mode, m.tracer());
+        self.checker
+            .on_release_traced(lock, t, mode, m.tracer(), m.lockstat());
         let core = m.core_of(t).expect("release from scheduled thread").0 as usize;
         let lcu_lat = m.cfg().lcu_latency;
         if held.overflow {

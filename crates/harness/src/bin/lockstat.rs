@@ -1,0 +1,13 @@
+//! Per-lock contention profile of the SSB-vs-LCU writer-starvation
+//! contrast: per-lock stats tables, the starvation-watchdog verdict, the
+//! longest blocking chains, and a self-contained HTML report.
+//!
+//! ```text
+//! cargo run --release --bin lockstat -- --quick
+//! cargo run --release --bin lockstat -- --lockstat results/lockstat.html \
+//!     --watchdog-cycles 30000
+//! ```
+
+fn main() {
+    locksim_harness::lockstat::cli_main();
+}

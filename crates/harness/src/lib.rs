@@ -16,6 +16,7 @@
 //! to the markdown output and `results/` CSVs.
 
 pub mod figs;
+pub mod lockstat;
 pub mod obs;
 pub mod run;
 pub mod table;
@@ -58,9 +59,28 @@ pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Table>) {
     obs::init_from_args();
     let tables = f();
     emit(name, &tables);
+    finish_bin(name);
+}
+
+/// Emits the deferred observability outputs collected during a bin's runs:
+/// the metrics section and, when `--lockstat` was given, the HTML report.
+/// Split out of [`run_bin`] for bins that drive their own argument parsing.
+///
+/// # Panics
+///
+/// Panics if the results directory or the report file cannot be written.
+pub fn finish_bin(name: &str) {
     if let Some(t) = obs::take_metrics_table(name) {
         println!("{}", t.markdown());
         t.save_csv(Path::new("results"), &format!("{name}_metrics"))
             .expect("write metrics csv");
+    }
+    if let Some((path, html)) = obs::take_lockstat_html(name) {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create lockstat report dir");
+        }
+        std::fs::write(&path, html)
+            .unwrap_or_else(|e| panic!("write lockstat report {}: {e}", path.display()));
+        eprintln!("lockstat: wrote HTML report to {}", path.display());
     }
 }

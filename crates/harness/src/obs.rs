@@ -1,5 +1,6 @@
-//! Harness-side observability: the `--trace <path>` CLI flag and the
-//! per-figure metrics accumulation behind the emitted "Metrics" sections.
+//! Harness-side observability: the shared `--trace` / `--lockstat` CLI
+//! flags and the per-figure metrics accumulation behind the emitted
+//! "Metrics" sections.
 //!
 //! Every experiment executor in [`crate::run`] arms the world before the
 //! run ([`arm`]) and reports it afterwards ([`observe`]). When `--trace`
@@ -7,26 +8,45 @@
 //! machine's trace ring and exported as Chrome trace-event JSON (loadable
 //! in Perfetto or `chrome://tracing`); every run additionally contributes
 //! its end-of-run [`MetricsSnapshot`] to a per-series table that
-//! [`crate::run_bin`] prints and saves next to the figure CSVs.
+//! [`crate::run_bin`] prints and saves next to the figure CSVs. When
+//! `--lockstat <path>` was given, every run also collects per-lock
+//! contention statistics (plus a trace for blocking-chain analysis) and
+//! the accumulated series render into one self-contained HTML report at
+//! that path; `--watchdog-cycles <n>` additionally arms the starvation
+//! watchdog at that threshold.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use locksim_machine::{MetricsSnapshot, World};
+use locksim_machine::{
+    blocking_chains, render_html, HtmlSeries, LockChain, LockStats, MetricsSnapshot, World,
+};
 
 use crate::table::Table;
 
 /// Default `--trace` ring capacity (records kept; oldest are dropped).
 const DEFAULT_TRACE_CAP: usize = 200_000;
 
+/// One run's lockstat capture, kept until the end-of-process HTML render.
+struct LockstatSeries {
+    label: String,
+    stats: LockStats,
+    chains: Vec<LockChain>,
+    end_cycles: u64,
+}
+
 struct Obs {
     trace_path: Option<PathBuf>,
     trace_cap: usize,
+    lockstat_path: Option<PathBuf>,
+    watchdog_cycles: Option<u64>,
     /// A trace has been exported; later runs are left uninstrumented.
     captured: bool,
     /// Per-series (backend/variant label): run count and last snapshot.
     metrics: BTreeMap<String, (u64, MetricsSnapshot)>,
+    /// Per-run lockstat captures, in run order.
+    lockstat: Vec<LockstatSeries>,
 }
 
 impl Default for Obs {
@@ -34,8 +54,11 @@ impl Default for Obs {
         Obs {
             trace_path: None,
             trace_cap: DEFAULT_TRACE_CAP,
+            lockstat_path: None,
+            watchdog_cycles: None,
             captured: false,
             metrics: BTreeMap::new(),
+            lockstat: Vec::new(),
         }
     }
 }
@@ -51,16 +74,24 @@ pub struct CliOpts {
     pub trace_path: Option<PathBuf>,
     /// Override the trace ring capacity.
     pub trace_cap: Option<usize>,
+    /// Write the per-lock contention HTML report here.
+    pub lockstat_path: Option<PathBuf>,
+    /// Starvation-watchdog threshold in cycles.
+    pub watchdog_cycles: Option<u64>,
 }
 
-/// Parses `--trace <path>` and `--trace-cap <records>` from an argument
-/// list (without the program name).
+/// Parses the shared observability flags (`--trace <path>`,
+/// `--trace-cap <records>`, `--lockstat <path>`, `--watchdog-cycles <n>`)
+/// from an argument list (without the program name). Unrecognized
+/// arguments are returned for the caller to handle — bins with their own
+/// flags (e.g. `lockstat --quick`) parse the remainder themselves.
 ///
 /// # Errors
 ///
-/// Returns a usage message on an unknown flag or a missing/invalid value.
-pub fn parse_cli(args: &[String]) -> Result<CliOpts, String> {
+/// Returns a usage message on a missing or invalid flag value.
+pub fn parse_cli_partial(args: &[String]) -> Result<(CliOpts, Vec<String>), String> {
     let mut opts = CliOpts::default();
+    let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -75,12 +106,37 @@ pub fn parse_cli(args: &[String]) -> Result<CliOpts, String> {
                     .map_err(|_| format!("--trace-cap: invalid count {v:?}"))?;
                 opts.trace_cap = Some(n.max(1));
             }
-            other => {
-                return Err(format!(
-                    "unknown argument {other:?} (supported: --trace <path>, --trace-cap <records>)"
-                ))
+            "--lockstat" => {
+                let v = it.next().ok_or("--lockstat requires a file path")?;
+                opts.lockstat_path = Some(PathBuf::from(v));
             }
+            "--watchdog-cycles" => {
+                let v = it
+                    .next()
+                    .ok_or("--watchdog-cycles requires a cycle count")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--watchdog-cycles: invalid count {v:?}"))?;
+                opts.watchdog_cycles = Some(n);
+            }
+            other => rest.push(other.to_string()),
         }
+    }
+    Ok((opts, rest))
+}
+
+/// Parses the shared observability flags, rejecting anything else.
+///
+/// # Errors
+///
+/// Returns a usage message on an unknown flag or a missing/invalid value.
+pub fn parse_cli(args: &[String]) -> Result<CliOpts, String> {
+    let (opts, rest) = parse_cli_partial(args)?;
+    if let Some(other) = rest.first() {
+        return Err(format!(
+            "unknown argument {other:?} (supported: --trace <path>, --trace-cap <records>, \
+             --lockstat <path>, --watchdog-cycles <n>)"
+        ));
     }
     Ok(opts)
 }
@@ -91,13 +147,7 @@ pub fn parse_cli(args: &[String]) -> Result<CliOpts, String> {
 pub fn init_from_args() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_cli(&args) {
-        Ok(opts) => OBS.with(|o| {
-            let mut o = o.borrow_mut();
-            o.trace_path = opts.trace_path;
-            if let Some(cap) = opts.trace_cap {
-                o.trace_cap = cap;
-            }
-        }),
+        Ok(opts) => apply_opts(&opts),
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);
@@ -105,14 +155,35 @@ pub fn init_from_args() {
     }
 }
 
-/// Enables tracing on a freshly built world when a `--trace` capture is
-/// still pending. Runs execute sequentially, so at most one world is armed
-/// at a time.
+/// Applies already-parsed observability options to the process state (used
+/// by bins that parse their own extra flags via [`parse_cli_partial`]).
+pub fn apply_opts(opts: &CliOpts) {
+    OBS.with(|o| {
+        let mut o = o.borrow_mut();
+        o.trace_path = opts.trace_path.clone();
+        if let Some(cap) = opts.trace_cap {
+            o.trace_cap = cap;
+        }
+        o.lockstat_path = opts.lockstat_path.clone();
+        o.watchdog_cycles = opts.watchdog_cycles;
+    });
+}
+
+/// Enables instrumentation on a freshly built world: tracing when a
+/// `--trace` capture is still pending, and per-lock stats (plus a trace
+/// ring for blocking-chain analysis) when `--lockstat` was given. Runs
+/// execute sequentially, so at most one world is armed at a time.
 pub(crate) fn arm(w: &mut World) {
     OBS.with(|o| {
         let o = o.borrow();
         if o.trace_path.is_some() && !o.captured {
             w.enable_trace(o.trace_cap);
+        }
+        if o.lockstat_path.is_some() {
+            w.enable_lockstat(o.watchdog_cycles);
+            if !w.mach_ref().tracer().is_enabled() {
+                w.enable_trace(o.trace_cap);
+            }
         }
     });
 }
@@ -145,7 +216,41 @@ pub(crate) fn observe(label: &str, w: &World) {
             .or_insert_with(|| (0, snap.clone()));
         entry.0 += 1;
         entry.1 = snap;
+        if o.lockstat_path.is_some() && w.lockstat().is_enabled() {
+            let chains = blocking_chains(w.mach_ref().tracer().events());
+            o.lockstat.push(LockstatSeries {
+                label: label.to_string(),
+                stats: w.lockstat().clone(),
+                chains,
+                end_cycles: w.mach_ref().now().cycles(),
+            });
+        }
     });
+}
+
+/// Drains the accumulated lockstat captures into `(path, rendered HTML)`,
+/// or `None` when `--lockstat` was not given or no instrumented run
+/// happened. [`crate::run_bin`] writes the file.
+pub(crate) fn take_lockstat_html(name: &str) -> Option<(PathBuf, String)> {
+    OBS.with(|o| {
+        let mut o = o.borrow_mut();
+        let path = o.lockstat_path.clone()?;
+        let series = std::mem::take(&mut o.lockstat);
+        if series.is_empty() {
+            return None;
+        }
+        let html_series: Vec<HtmlSeries<'_>> = series
+            .iter()
+            .map(|s| HtmlSeries {
+                label: &s.label,
+                stats: &s.stats,
+                chains: &s.chains,
+                end_cycles: s.end_cycles,
+            })
+            .collect();
+        let title = format!("lockstat — {name}");
+        Some((path, render_html(&title, &html_series)))
+    })
 }
 
 /// Drains the accumulated per-series metrics into a table (one row per
@@ -214,6 +319,31 @@ mod tests {
         assert!(parse_cli(&args(&["--frobnicate"])).is_err());
         assert!(parse_cli(&args(&["--trace"])).is_err());
         assert!(parse_cli(&args(&["--trace-cap", "many"])).is_err());
+        assert!(parse_cli(&args(&["--lockstat"])).is_err());
+        assert!(parse_cli(&args(&["--watchdog-cycles", "soon"])).is_err());
+    }
+
+    #[test]
+    fn parse_lockstat_flags() {
+        let o = parse_cli(&args(&[
+            "--lockstat",
+            "out.html",
+            "--watchdog-cycles",
+            "25000",
+        ]))
+        .unwrap();
+        assert_eq!(o.lockstat_path, Some(PathBuf::from("out.html")));
+        assert_eq!(o.watchdog_cycles, Some(25_000));
+    }
+
+    #[test]
+    fn partial_parse_passes_unknowns_through() {
+        let (o, rest) =
+            parse_cli_partial(&args(&["--quick", "--lockstat", "r.html", "extra"])).unwrap();
+        assert_eq!(o.lockstat_path, Some(PathBuf::from("r.html")));
+        assert_eq!(rest, args(&["--quick", "extra"]));
+        // Value errors are still hard errors, not pass-throughs.
+        assert!(parse_cli_partial(&args(&["--quick", "--trace"])).is_err());
     }
 
     #[test]

@@ -6,14 +6,24 @@
 
 use std::collections::HashMap;
 
-use locksim_trace::Tracer;
+use locksim_trace::{LockStats, Tracer};
 
 use crate::addr::Addr;
 use crate::lock::Mode;
 use crate::prog::ThreadId;
 
-/// How many trace records to dump when a violation aborts the run.
+/// Default number of trace records to dump when a violation aborts the run;
+/// override with the `LOCKSIM_ABORT_DUMP` environment variable.
 const ABORT_DUMP_RECORDS: usize = 32;
+
+/// Records to include in an abort dump: `LOCKSIM_ABORT_DUMP` when set to a
+/// parseable count, else the built-in default of 32.
+fn abort_dump_records() -> usize {
+    std::env::var("LOCKSIM_ABORT_DUMP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(ABORT_DUMP_RECORDS)
+}
 
 /// Tracks, per lock, the current writer and reader set, and asserts the
 /// reader-writer exclusion invariant on every transition.
@@ -58,16 +68,26 @@ impl Checker {
     }
 
     /// Records a grant; on a violation, aborts with the last trace records
-    /// touching the violating lock appended to the panic message.
+    /// touching the violating lock (count configurable via
+    /// `LOCKSIM_ABORT_DUMP`) plus that lock's lockstat snapshot appended to
+    /// the panic message.
     ///
     /// # Panics
     ///
     /// Panics if the grant violates reader-writer exclusion.
-    pub fn on_grant_traced(&mut self, lock: Addr, t: ThreadId, mode: Mode, tracer: &Tracer) {
+    pub fn on_grant_traced(
+        &mut self,
+        lock: Addr,
+        t: ThreadId,
+        mode: Mode,
+        tracer: &Tracer,
+        lockstat: &LockStats,
+    ) {
         if let Err(msg) = self.try_grant(lock, t, mode) {
             panic!(
-                "{msg}\n{}",
-                tracer.lock_history_report(lock.0, ABORT_DUMP_RECORDS)
+                "{msg}\n{}{}",
+                tracer.lock_history_report(lock.0, abort_dump_records()),
+                lockstat.lock_snapshot(lock.0)
             );
         }
     }
@@ -114,16 +134,26 @@ impl Checker {
     }
 
     /// Records a release; on a violation, aborts with the last trace records
-    /// touching the violating lock appended to the panic message.
+    /// touching the violating lock (count configurable via
+    /// `LOCKSIM_ABORT_DUMP`) plus that lock's lockstat snapshot appended to
+    /// the panic message.
     ///
     /// # Panics
     ///
     /// Panics if the releaser does not hold the lock in `mode`.
-    pub fn on_release_traced(&mut self, lock: Addr, t: ThreadId, mode: Mode, tracer: &Tracer) {
+    pub fn on_release_traced(
+        &mut self,
+        lock: Addr,
+        t: ThreadId,
+        mode: Mode,
+        tracer: &Tracer,
+        lockstat: &LockStats,
+    ) {
         if let Err(msg) = self.try_release(lock, t, mode) {
             panic!(
-                "{msg}\n{}",
-                tracer.lock_history_report(lock.0, ABORT_DUMP_RECORDS)
+                "{msg}\n{}{}",
+                tracer.lock_history_report(lock.0, abort_dump_records()),
+                lockstat.lock_snapshot(lock.0)
             );
         }
     }
@@ -227,7 +257,7 @@ mod tests {
     }
 
     #[test]
-    fn traced_violation_dumps_lock_history() {
+    fn traced_violation_dumps_lock_history_and_lockstat() {
         let mut tracer = Tracer::new();
         tracer.enable(16);
         tracer.record(|| TraceEvent {
@@ -240,15 +270,23 @@ mod tests {
                 wait: 3,
             },
         });
+        let mut ls = LockStats::new();
+        ls.enable(None);
+        ls.on_request(L.0, 0, true, 7);
+        ls.on_grant(L.0, 0, true, 3, 10);
         let mut c = Checker::new();
-        c.on_grant_traced(L, ThreadId(0), Mode::Write, &tracer);
+        c.on_grant_traced(L, ThreadId(0), Mode::Write, &tracer, &ls);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            c.on_grant_traced(L, ThreadId(1), Mode::Write, &tracer);
+            c.on_grant_traced(L, ThreadId(1), Mode::Write, &tracer, &ls);
         }))
         .unwrap_err();
         let msg = err.downcast_ref::<String>().expect("string panic");
         assert!(msg.contains("exclusion violation"), "{msg}");
         assert!(msg.contains("lock_grant"), "history missing from: {msg}");
+        assert!(
+            msg.contains("acquires r=0 w=1"),
+            "lockstat snapshot missing from: {msg}"
+        );
     }
 
     #[test]
@@ -256,10 +294,21 @@ mod tests {
         let tracer = Tracer::new(); // disabled: report still renders
         let mut c = Checker::new();
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            c.on_release_traced(L, ThreadId(3), Mode::Read, &tracer);
+            c.on_release_traced(L, ThreadId(3), Mode::Read, &tracer, &LockStats::new());
         }))
         .unwrap_err();
         let msg = err.downcast_ref::<String>().expect("string panic");
         assert!(msg.contains("unread lock"), "{msg}");
+    }
+
+    #[test]
+    fn abort_dump_count_reads_env_override() {
+        // Serialized by being the only test touching this env var.
+        assert_eq!(abort_dump_records(), 32);
+        std::env::set_var("LOCKSIM_ABORT_DUMP", "7");
+        assert_eq!(abort_dump_records(), 7);
+        std::env::set_var("LOCKSIM_ABORT_DUMP", "junk");
+        assert_eq!(abort_dump_records(), 32);
+        std::env::remove_var("LOCKSIM_ABORT_DUMP");
     }
 }

@@ -41,5 +41,7 @@ pub use world::{CycleDissection, Ep, Mach, MemKind, RunExit, ThreadStats, World}
 // directly. The trace crate's endpoint enum is re-exported as `TraceEp` to
 // avoid clashing with the machine's own [`Ep`].
 pub use locksim_trace::{
-    Ep as TraceEp, LatencyHist, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceKind, Tracer,
+    blocking_chains, render_chains, render_html, ChainLink, Ep as TraceEp, FlagOutcome, HtmlSeries,
+    LatencyHist, LockChain, LockStat, LockStats, MetricsRegistry, MetricsSnapshot, StarvationFlag,
+    TraceEvent, TraceKind, Tracer,
 };

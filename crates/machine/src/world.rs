@@ -12,7 +12,8 @@ use locksim_engine::stats::Counters;
 use locksim_engine::{Cycles, RngStream, Simulator, Time};
 use locksim_topo::{MsgClass, Network, NodeId};
 use locksim_trace::{
-    Ep as TraceEp, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceKind, Tracer,
+    Ep as TraceEp, LockStats, MetricsRegistry, MetricsSnapshot, StarvationFlag, TraceEvent,
+    TraceKind, Tracer,
 };
 
 use crate::addr::{home_of, Addr, Alloc};
@@ -264,6 +265,7 @@ pub struct Mach {
     alloc: Alloc,
     metrics: MetricsRegistry,
     tracer: Tracer,
+    lockstat: LockStats,
     seed: u64,
     next_stream: u64,
     alive: usize,
@@ -352,6 +354,41 @@ impl Mach {
     /// Mutable tracer access (enable/disable, export).
     pub fn tracer_mut(&mut self) -> &mut Tracer {
         &mut self.tracer
+    }
+
+    /// The per-lock contention statistics (disabled unless
+    /// [`World::enable_lockstat`] was called).
+    pub fn lockstat(&self) -> &LockStats {
+        &self.lockstat
+    }
+
+    /// Mutable lockstat access for backends recording protocol-specific
+    /// per-lock events.
+    pub fn lockstat_mut(&mut self) -> &mut LockStats {
+        &mut self.lockstat
+    }
+
+    /// Backend hook: bumps a protocol-specific per-lock counter (no-op while
+    /// lockstat is disabled).
+    #[inline]
+    pub fn lockstat_bump(&mut self, lock: Addr, name: &'static str) {
+        self.lockstat.bump(lock.0, name);
+    }
+
+    /// Records a starvation-watchdog firing: a `starve` trace record plus
+    /// the machine-wide `starvation_flags` counter.
+    fn note_starvation(&mut self, flag: StarvationFlag) {
+        self.metrics.incr("starvation_flags");
+        self.tracer.record(|| TraceEvent {
+            t: Time::from_cycles(flag.at),
+            ep: TraceEp::Thread(flag.thread),
+            kind: TraceKind::Starve {
+                lock: flag.lock,
+                thread: flag.thread,
+                write: flag.write,
+                waited: flag.waited,
+            },
+        });
     }
 
     /// Records a trace event stamped with the current simulated time. The
@@ -455,6 +492,12 @@ impl Mach {
                     wait,
                 },
             });
+            if let Some(flag) =
+                self.lockstat
+                    .on_grant(lock.0, t.0, mode == Mode::Write, wait, granted_at.cycles())
+            {
+                self.note_starvation(flag);
+            }
         }
         // The grant ends the acquire period; if the thread is off-core
         // (suspension backends) it stays in `preempted` until rescheduled.
@@ -488,6 +531,9 @@ impl Mach {
                     thread: t.0,
                 },
             });
+            if let Some(flag) = self.lockstat.on_fail(lock.0, t.0, now.cycles()) {
+                self.note_starvation(flag);
+            }
         }
         self.sched_resume(t, Outcome::Failed, delay);
     }
@@ -806,6 +852,7 @@ impl World {
                 alloc: Alloc::new(),
                 metrics: MetricsRegistry::new(),
                 tracer: Tracer::new(),
+                lockstat: LockStats::new(),
                 seed,
                 next_stream: 0,
                 alive: 0,
@@ -822,6 +869,19 @@ impl World {
     /// `locksim-trace` crate for the record schema.
     pub fn enable_trace(&mut self, cap: usize) {
         self.mach.tracer.enable(cap);
+    }
+
+    /// Starts collecting per-lock contention statistics; `watchdog_cycles`
+    /// additionally arms the starvation watchdog, which flags (as `starve`
+    /// trace records, the `starvation_flags` counter, and report entries)
+    /// any wait exceeding that many cycles.
+    pub fn enable_lockstat(&mut self, watchdog_cycles: Option<u64>) {
+        self.mach.lockstat.enable(watchdog_cycles);
+    }
+
+    /// The collected per-lock statistics.
+    pub fn lockstat(&self) -> &LockStats {
+        self.mach.lockstat()
     }
 
     /// The recorded trace as `(time, rendered record)` entries, oldest
@@ -1368,8 +1428,12 @@ impl World {
                 try_for,
             } => {
                 self.mach.acct_switch(ti, CycleCat::LockAcquire);
-                self.mach.threads[ti].waiting_since = Some(self.mach.sim.now());
+                let req_at = self.mach.sim.now();
+                self.mach.threads[ti].waiting_since = Some(req_at);
                 self.mach.threads[ti].waiting_on = Some((lock, mode));
+                self.mach
+                    .lockstat
+                    .on_request(lock.0, t.0, mode == Mode::Write, req_at.cycles());
                 self.mach.trace(|now| TraceEvent {
                     t: now,
                     ep: TraceEp::Thread(t.0),
@@ -1392,6 +1456,9 @@ impl World {
                     let (_, since) = self.mach.threads[ti].holding.remove(pos);
                     let held = self.mach.sim.now().saturating_since(since);
                     self.mach.metrics.observe("lock_hold_cycles", held);
+                    self.mach
+                        .lockstat
+                        .on_release(lock.0, t.0, mode == Mode::Write, held);
                 }
                 self.mach.trace(|now| TraceEvent {
                     t: now,

@@ -279,7 +279,8 @@ impl LockBackend for SsbBackend {
 
     fn on_release(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode) {
         self.ensure_init(m);
-        self.checker.on_release_traced(lock, t, mode, m.tracer());
+        self.checker
+            .on_release_traced(lock, t, mode, m.tracer(), m.lockstat());
         let core = m.core_of(t).expect("release from scheduled thread").0 as usize;
         let home = m.home_of(lock);
         self.counters.incr("ssb_releases");
@@ -331,7 +332,7 @@ impl LockBackend for SsbBackend {
                 }
                 let p = self.pending.remove(&tid).expect("checked");
                 self.checker
-                    .on_grant_traced(p.addr, tid, p.mode, m.tracer());
+                    .on_grant_traced(p.addr, tid, p.mode, m.tracer(), m.lockstat());
                 m.grant_lock(tid);
             }
             SsbMsg::Deny { addr, tid } => {
@@ -348,6 +349,7 @@ impl LockBackend for SsbBackend {
                     }
                 }
                 self.counters.incr("ssb_retries");
+                m.lockstat_bump(addr, "ssb_remote_retries");
                 self.arm_retry(m, tid);
             }
             SsbMsg::RelAck { tid, orphan } => {

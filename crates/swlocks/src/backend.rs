@@ -167,7 +167,9 @@ impl LockBackend for SwLockBackend {
         );
         // The critical section ends here; record it before the release's
         // memory traffic races the next owner's grant messages.
-        self.st.checker.on_release_traced(lock, t, mode, m.tracer());
+        self.st
+            .checker
+            .on_release_traced(lock, t, mode, m.tracer(), m.lockstat());
         self.st
             .threads
             .insert(t, tas::new_tsm(lock, mode, OpKind::Release));
@@ -204,6 +206,9 @@ impl LockBackend for SwLockBackend {
                     .is_some_and(|tsm| tsm.phase == phase);
                 if stuck {
                     self.st.counters.incr("sw_fallback_redrives");
+                    if let Some(lock) = self.st.threads.get(&t).map(|tsm| tsm.lock) {
+                        m.lockstat_bump(lock, "sw_fallback_redrives");
+                    }
                     self.redrive(m, t);
                 }
             }

@@ -213,7 +213,7 @@ impl SwState {
         let tsm = self.threads.remove(&t).expect("grant without op");
         debug_assert_eq!(tsm.op, OpKind::Acquire);
         self.checker
-            .on_grant_traced(tsm.lock, t, tsm.mode, m.tracer());
+            .on_grant_traced(tsm.lock, t, tsm.mode, m.tracer(), m.lockstat());
         self.counters.incr("sw_grants");
         m.grant_lock(t);
     }

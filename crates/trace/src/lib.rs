@@ -1,10 +1,18 @@
 //! Structured observability for the simulator: a zero-cost-when-disabled
-//! event trace plus a metrics registry.
+//! event trace, a metrics registry, per-lock contention statistics with a
+//! starvation watchdog, post-hoc blocking-chain analysis, and an HTML
+//! report renderer.
 
+pub mod chain;
+pub mod html;
+pub mod lockstat;
 pub mod metrics;
 pub mod record;
 pub mod tracer;
 
+pub use chain::{blocking_chains, render_chains, ChainLink, LockChain};
+pub use html::{render_html, HtmlSeries};
+pub use lockstat::{FlagOutcome, LockStat, LockStats, StarvationFlag};
 pub use metrics::{LatencyHist, MetricsRegistry, MetricsSnapshot};
 pub use record::{Ep, TraceEvent, TraceKind};
 pub use tracer::Tracer;

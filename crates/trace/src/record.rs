@@ -121,6 +121,17 @@ pub enum TraceKind {
         /// Destination core.
         to: u32,
     },
+    /// The starvation watchdog flagged a wait exceeding its threshold.
+    Starve {
+        /// Lock line address.
+        lock: u64,
+        /// The starved thread.
+        thread: u32,
+        /// True when the starved request was for write mode.
+        write: bool,
+        /// Cycles the thread had waited when flagged.
+        waited: u64,
+    },
     /// A protocol timer fired.
     TimerFire {
         /// What the timer guards (protocol-specific label).
@@ -148,6 +159,7 @@ impl TraceKind {
             TraceKind::SchedRun { .. } => "sched_run",
             TraceKind::SchedPreempt { .. } => "sched_preempt",
             TraceKind::SchedMigrate { .. } => "sched_migrate",
+            TraceKind::Starve { .. } => "starve",
             TraceKind::TimerFire { .. } => "timer_fire",
             TraceKind::Mark { .. } => "mark",
         }
@@ -161,7 +173,8 @@ impl TraceKind {
             | TraceKind::LockGrant { lock, .. }
             | TraceKind::LockRelease { lock, .. }
             | TraceKind::LockFail { lock, .. }
-            | TraceKind::EntryState { lock, .. } => Some(lock),
+            | TraceKind::EntryState { lock, .. }
+            | TraceKind::Starve { lock, .. } => Some(lock),
             _ => None,
         }
     }

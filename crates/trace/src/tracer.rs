@@ -302,6 +302,14 @@ fn args_json(kind: &TraceKind) -> String {
         TraceKind::SchedMigrate { thread, from, to } => {
             format!("\"thread\":{thread},\"from\":{from},\"to\":{to}")
         }
+        TraceKind::Starve {
+            lock,
+            thread,
+            write,
+            waited,
+        } => {
+            format!("\"lock\":{lock},\"thread\":{thread},\"write\":{write},\"waited\":{waited}")
+        }
         TraceKind::TimerFire { label } | TraceKind::Mark { label } => {
             format!("\"label\":{}", json_str(label))
         }
@@ -359,6 +367,18 @@ fn render_line(e: &TraceEvent) -> String {
         }
         TraceKind::SchedMigrate { thread, from, to } => {
             let _ = write!(line, "t{thread} core {from}->{to}");
+        }
+        TraceKind::Starve {
+            lock,
+            thread,
+            write,
+            waited,
+        } => {
+            let _ = write!(
+                line,
+                "lock {lock:#x} t{thread} {} waited {waited} cy",
+                rw(write)
+            );
         }
         TraceKind::TimerFire { label } | TraceKind::Mark { label } => {
             let _ = write!(line, "{label}");

@@ -78,6 +78,14 @@ impl CsThread {
         self.touch_data = true;
         self
     }
+
+    /// Overrides the critical-section compute length (default 20 cycles).
+    /// Long read sections keep read sessions overlapping, which is what
+    /// exposes reader-preference writer starvation.
+    pub fn with_cs_compute(mut self, cycles: Cycles) -> Self {
+        self.cs_compute = cycles;
+        self
+    }
 }
 
 impl Program for CsThread {

@@ -1,0 +1,7 @@
+//! Root-package shim so `cargo run --release --bin lockstat` works from
+//! the workspace root without `-p locksim-harness`. See
+//! `crates/harness/src/bin/lockstat.rs` for the harness-local twin.
+
+fn main() {
+    locksim::harness::lockstat::cli_main();
+}
