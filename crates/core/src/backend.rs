@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use locksim_engine::stats::Counters;
 use locksim_engine::Cycles;
-use locksim_machine::{Addr, CoreId, Ep, LockBackend, Mach, Mode, ThreadId};
+use locksim_machine::{Addr, BackendFault, CoreId, Ep, LockBackend, Mach, Mode, ThreadId};
 use locksim_topo::MsgClass;
 
 use crate::entry::{EntryKind, Lcu, Status};
@@ -1686,6 +1686,22 @@ impl LockBackend for LcuBackend {
         // new core; stale entries elsewhere pass grants through on timeout.
         self.counters.incr("lcu_reissues");
         self.try_start_request(m, t);
+    }
+
+    fn on_fault(&mut self, m: &mut Mach, fault: BackendFault) -> bool {
+        self.ensure_init(m);
+        match fault {
+            BackendFault::FltEvict { core } => {
+                // Capacity pressure: force the lowest-address parked release
+                // out, exactly as a conflicting allocation would (§IV-C).
+                let Some(&lock) = self.flts.get(core).and_then(|f| f.keys().next()) else {
+                    return false;
+                };
+                self.counters.incr("flt_fault_evictions");
+                self.flt_unpark_release(m, core, lock);
+                true
+            }
+        }
     }
 
     fn debug_state(&self) -> String {

@@ -146,6 +146,26 @@ impl<E> Simulator<E> {
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
+
+    /// Advances the clock to `at` without popping an event, so work injected
+    /// from outside the queue (fault injection, external stimuli) lands at an
+    /// exact cycle. A target at or before `now` is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an event earlier than `at` is still pending —
+    /// the caller must drain those first or determinism is lost.
+    pub fn advance_to(&mut self, at: Time) {
+        if at <= self.now {
+            return;
+        }
+        debug_assert!(
+            self.peek_time().is_none_or(|t| t >= at),
+            "advance_to({at:?}) would skip a pending event at {:?}",
+            self.peek_time()
+        );
+        self.now = at;
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +229,30 @@ mod tests {
         sim.pop();
         assert_eq!(sim.events_processed(), 1);
         assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn advance_to_moves_clock_without_popping() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance_to(Time::from_cycles(50));
+        assert_eq!(sim.now(), Time::from_cycles(50));
+        assert_eq!(sim.events_processed(), 0);
+        // Backwards / same-cycle targets are no-ops.
+        sim.advance_to(Time::from_cycles(10));
+        assert_eq!(sim.now(), Time::from_cycles(50));
+        // Scheduling after an advance is relative to the new clock.
+        sim.schedule_in(5, ());
+        let (t, _) = sim.pop().unwrap();
+        assert_eq!(t, Time::from_cycles(55));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(3, ());
+        sim.advance_to(Time::from_cycles(10));
     }
 
     #[test]

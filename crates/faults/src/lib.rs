@@ -1,0 +1,39 @@
+//! # locksim-faults — deterministic fault injection & adversarial schedules
+//!
+//! The MICRO 2010 Lock Control Unit's central robustness claim is that a
+//! hardware lock queue survives the schedules that break software queue
+//! locks: a queued MCS waiter that gets descheduled stalls every successor,
+//! while the LCU detects the unscheduled requester, passes the grant
+//! through, and reissues the request when the thread lands on a new core.
+//! This crate turns that claim into a checkable experiment:
+//!
+//! * [`plan`] — [`FaultPlan`]: a scenario model (programmatic builder plus
+//!   a line-oriented text format) describing *what* to inject and *when* —
+//!   thread suspension/resumption, forced cross-core migration, FLT entry
+//!   eviction, deterministic wire delay — at absolute cycles or when a
+//!   thread enters a waiting/holding protocol state.
+//! * [`driver`] — [`FaultDriver`]: steps a [`World`] in fixed polling
+//!   increments via `run_until_cycle`, applying due injections at exact
+//!   cycles so a faulted run is byte-reproducible under a fixed seed, and
+//!   recording per-thread suspension windows for the oracles.
+//! * [`oracle`] — post-hoc liveness / fairness / exclusion checkers over
+//!   the structured trace ring, exempting injected suspension windows, and
+//!   reporting violations back through the trace ring and lockstat.
+//! * [`report`] — the backend × fault-class matrix with verdicts, rendered
+//!   as deterministic CSV and self-contained HTML.
+//!
+//! The `faultsim` harness binary drives the full matrix.
+//!
+//! [`World`]: locksim_machine::World
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod oracle;
+pub mod plan;
+pub mod report;
+
+pub use driver::{Applied, DriveOutcome, FaultDriver, SuspensionWindows};
+pub use oracle::{check_exclusion, check_fairness, check_liveness, check_world, Violation};
+pub use plan::{FaultEvent, FaultPlan, Inject, Trigger};
+pub use report::{csv, html, MatrixCell};

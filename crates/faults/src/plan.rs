@@ -1,0 +1,443 @@
+//! The fault scenario model: what to inject, when, and which guarantees to
+//! check afterwards.
+//!
+//! A [`FaultPlan`] is built programmatically (builder methods) or parsed
+//! from a small line-oriented text format (see [`FaultPlan::parse`]) so
+//! scenarios can live in files and CI configs:
+//!
+//! ```text
+//! # one directive per line; '#' starts a comment
+//! horizon 150000
+//! fairness-k 4
+//! poll 500
+//! deadline 600000
+//! at 20000 suspend 1 for 80000
+//! at 30000 migrate 2 to 3
+//! when-waiting 1 after 5000 suspend 1 for 50000
+//! at 10000 flt-evict 0
+//! at 0 wire-delay every 3 extra 400
+//! ```
+
+/// When an injection fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// At an exact simulated cycle.
+    AtCycle(u64),
+    /// At the first driver poll at or after `after` cycles where `thread`
+    /// has an acquire outstanding (protocol-state trigger: mid-queue).
+    WhenWaiting {
+        /// The observed thread.
+        thread: u32,
+        /// Earliest cycle the condition is polled.
+        after: u64,
+    },
+    /// At the first driver poll at or after `after` cycles where `thread`
+    /// holds at least one lock (protocol-state trigger: mid-critical-section).
+    WhenHolding {
+        /// The observed thread.
+        thread: u32,
+        /// Earliest cycle the condition is polled.
+        after: u64,
+    },
+}
+
+/// What to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inject {
+    /// Suspend a thread (off-core, not runnable). `duration` of `Some(d)`
+    /// auto-resumes it `d` cycles later; `None` waits for an explicit
+    /// [`Inject::Resume`].
+    Suspend {
+        /// The suspended thread.
+        thread: u32,
+        /// Auto-resume delay in cycles, if any.
+        duration: Option<u64>,
+    },
+    /// Resume a suspended thread.
+    Resume {
+        /// The resumed thread.
+        thread: u32,
+    },
+    /// Forcibly migrate a thread to a core (evicting any occupant).
+    Migrate {
+        /// The migrated thread.
+        thread: u32,
+        /// Destination core.
+        to_core: u32,
+    },
+    /// Force-evict a parked free-lock-table entry on a core (LCU only;
+    /// backends without an FLT report the fault unapplied).
+    FltEvict {
+        /// The pressured core.
+        core: u32,
+    },
+    /// Install a deterministic wire-delay fault: every `period`-th network
+    /// message is delayed `extra` cycles.
+    WireDelay {
+        /// Delay every `period`-th message.
+        period: u64,
+        /// Extra delay in cycles.
+        extra: u64,
+    },
+    /// Remove the wire-delay fault.
+    WireClear,
+}
+
+impl Inject {
+    /// Short label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Inject::Suspend { .. } => "suspend",
+            Inject::Resume { .. } => "resume",
+            Inject::Migrate { .. } => "migrate",
+            Inject::FltEvict { .. } => "flt_evict",
+            Inject::WireDelay { .. } => "wire_delay",
+            Inject::WireClear => "wire_clear",
+        }
+    }
+}
+
+/// One planned injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When it fires.
+    pub trigger: Trigger,
+    /// What it does.
+    pub inject: Inject,
+}
+
+/// A complete fault scenario plus the oracle thresholds to judge it by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Planned injections, applied in plan order when due.
+    pub events: Vec<FaultEvent>,
+    /// Liveness horizon: a requester left waiting more than this many
+    /// non-suspended cycles is a liveness violation.
+    pub horizon: u64,
+    /// Fairness bound: a waiter overtaken by more than `k` later requesters
+    /// is a fairness violation.
+    pub fairness_k: u64,
+    /// Driver polling interval for conditional triggers (and the stepping
+    /// granularity for exact-cycle ones).
+    pub poll: u64,
+    /// Hard cap on the driven run length, in cycles.
+    pub deadline: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            horizon: 150_000,
+            fairness_k: 8,
+            poll: 500,
+            deadline: 1_000_000,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the liveness horizon.
+    pub fn horizon(mut self, cycles: u64) -> Self {
+        self.horizon = cycles;
+        self
+    }
+
+    /// Sets the fairness overtake bound.
+    pub fn fairness_k(mut self, k: u64) -> Self {
+        self.fairness_k = k;
+        self
+    }
+
+    /// Sets the polling/stepping interval.
+    pub fn poll(mut self, cycles: u64) -> Self {
+        self.poll = cycles.max(1);
+        self
+    }
+
+    /// Sets the hard run deadline.
+    pub fn deadline(mut self, cycles: u64) -> Self {
+        self.deadline = cycles;
+        self
+    }
+
+    /// Adds an injection with an explicit trigger.
+    pub fn event(mut self, trigger: Trigger, inject: Inject) -> Self {
+        self.events.push(FaultEvent { trigger, inject });
+        self
+    }
+
+    /// Suspends `thread` at `cycle` for `duration` cycles.
+    pub fn suspend_at(self, cycle: u64, thread: u32, duration: u64) -> Self {
+        self.event(
+            Trigger::AtCycle(cycle),
+            Inject::Suspend {
+                thread,
+                duration: Some(duration),
+            },
+        )
+    }
+
+    /// Suspends `thread` for `duration` cycles once it is waiting on a lock
+    /// (polled from `after` cycles on).
+    pub fn suspend_when_waiting(self, thread: u32, after: u64, duration: u64) -> Self {
+        self.event(
+            Trigger::WhenWaiting { thread, after },
+            Inject::Suspend {
+                thread,
+                duration: Some(duration),
+            },
+        )
+    }
+
+    /// Suspends `thread` for `duration` cycles once it holds a lock (polled
+    /// from `after` cycles on).
+    pub fn suspend_when_holding(self, thread: u32, after: u64, duration: u64) -> Self {
+        self.event(
+            Trigger::WhenHolding { thread, after },
+            Inject::Suspend {
+                thread,
+                duration: Some(duration),
+            },
+        )
+    }
+
+    /// Migrates `thread` to `to_core` at `cycle`.
+    pub fn migrate_at(self, cycle: u64, thread: u32, to_core: u32) -> Self {
+        self.event(Trigger::AtCycle(cycle), Inject::Migrate { thread, to_core })
+    }
+
+    /// Migrates `thread` to `to_core` once it is waiting on a lock.
+    pub fn migrate_when_waiting(self, thread: u32, after: u64, to_core: u32) -> Self {
+        self.event(
+            Trigger::WhenWaiting { thread, after },
+            Inject::Migrate { thread, to_core },
+        )
+    }
+
+    /// Force-evicts an FLT entry on `core` at `cycle`.
+    pub fn flt_evict_at(self, cycle: u64, core: u32) -> Self {
+        self.event(Trigger::AtCycle(cycle), Inject::FltEvict { core })
+    }
+
+    /// Installs a wire-delay fault at `cycle`.
+    pub fn wire_delay_at(self, cycle: u64, period: u64, extra: u64) -> Self {
+        self.event(Trigger::AtCycle(cycle), Inject::WireDelay { period, extra })
+    }
+
+    /// Parses the line-oriented scenario format (see the module docs).
+    /// Unknown directives, missing fields and malformed numbers are
+    /// rejected with the offending line number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            plan = plan
+                .parse_line(line)
+                .map_err(|e| format!("scenario line {}: {e} (in {line:?})", i + 1))?;
+        }
+        Ok(plan)
+    }
+
+    fn parse_line(mut self, line: &str) -> Result<Self, String> {
+        let toks = &mut line.split_whitespace();
+        let head = toks.next().expect("caller skips empty lines");
+        match head {
+            "horizon" => self.horizon = num(toks, "cycle count")?,
+            "fairness-k" => self.fairness_k = num(toks, "overtake bound")?,
+            "poll" => self.poll = num(toks, "cycle count")?.max(1),
+            "deadline" => self.deadline = num(toks, "cycle count")?,
+            "at" | "when-waiting" | "when-holding" => {
+                let trigger = match head {
+                    "at" => Trigger::AtCycle(num(toks, "cycle")?),
+                    cond => {
+                        let thread = num(toks, "thread id")? as u32;
+                        keyword(toks, "after")?;
+                        let after = num(toks, "cycle")?;
+                        if cond == "when-waiting" {
+                            Trigger::WhenWaiting { thread, after }
+                        } else {
+                            Trigger::WhenHolding { thread, after }
+                        }
+                    }
+                };
+                let verb = toks
+                    .next()
+                    .ok_or_else(|| "missing injection verb after trigger".to_string())?;
+                let inject = match verb {
+                    "suspend" => {
+                        let thread = num(toks, "thread id")? as u32;
+                        let duration = match toks.next() {
+                            None => None,
+                            Some("for") => Some(num(toks, "duration")?),
+                            Some(other) => {
+                                return Err(format!("expected \"for\", found {other:?}"));
+                            }
+                        };
+                        Inject::Suspend { thread, duration }
+                    }
+                    "resume" => Inject::Resume {
+                        thread: num(toks, "thread id")? as u32,
+                    },
+                    "migrate" => {
+                        let thread = num(toks, "thread id")? as u32;
+                        keyword(toks, "to")?;
+                        Inject::Migrate {
+                            thread,
+                            to_core: num(toks, "core id")? as u32,
+                        }
+                    }
+                    "flt-evict" => Inject::FltEvict {
+                        core: num(toks, "core id")? as u32,
+                    },
+                    "wire-delay" => {
+                        keyword(toks, "every")?;
+                        let period = num(toks, "period")?;
+                        if period == 0 {
+                            return Err("wire-delay period must be positive".to_string());
+                        }
+                        keyword(toks, "extra")?;
+                        Inject::WireDelay {
+                            period,
+                            extra: num(toks, "extra cycles")?,
+                        }
+                    }
+                    "wire-clear" => Inject::WireClear,
+                    other => return Err(format!("unknown injection verb {other:?}")),
+                };
+                self.events.push(FaultEvent { trigger, inject });
+            }
+            other => return Err(format!("unknown directive {other:?}")),
+        }
+        if let Some(extra) = toks.next() {
+            return Err(format!("trailing token {extra:?}"));
+        }
+        Ok(self)
+    }
+}
+
+/// Consumes the next token as a number, naming `what` on failure.
+fn num(toks: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<u64, String> {
+    let tok = toks.next().ok_or_else(|| format!("missing {what}"))?;
+    tok.parse::<u64>()
+        .map_err(|_| format!("bad {what} {tok:?} (expected a number)"))
+}
+
+/// Consumes the next token, requiring it to be exactly `kw`.
+fn keyword(toks: &mut std::str::SplitWhitespace<'_>, kw: &str) -> Result<(), String> {
+    match toks.next() {
+        Some(t) if t == kw => Ok(()),
+        other => Err(format!("expected {kw:?}, found {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_events_in_order() {
+        let p = FaultPlan::new()
+            .horizon(10_000)
+            .fairness_k(3)
+            .poll(100)
+            .deadline(50_000)
+            .suspend_at(1_000, 2, 5_000)
+            .migrate_at(2_000, 1, 3);
+        assert_eq!(p.horizon, 10_000);
+        assert_eq!(p.fairness_k, 3);
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.events[0].inject.label(), "suspend");
+        assert_eq!(p.events[1].inject.label(), "migrate");
+    }
+
+    #[test]
+    fn parse_full_scenario() {
+        let text = "\
+# adversarial schedule
+horizon 150000
+fairness-k 4
+poll 500          # trailing comment
+deadline 600000
+at 20000 suspend 1 for 80000
+at 120000 resume 1
+at 30000 migrate 2 to 3
+when-waiting 1 after 5000 suspend 1 for 50000
+when-holding 0 after 1000 suspend 0
+at 10000 flt-evict 0
+at 0 wire-delay every 3 extra 400
+at 50000 wire-clear
+";
+        let p = FaultPlan::parse(text).expect("valid scenario");
+        assert_eq!(p.horizon, 150_000);
+        assert_eq!(p.fairness_k, 4);
+        assert_eq!(p.poll, 500);
+        assert_eq!(p.deadline, 600_000);
+        assert_eq!(p.events.len(), 8);
+        assert_eq!(
+            p.events[0],
+            FaultEvent {
+                trigger: Trigger::AtCycle(20_000),
+                inject: Inject::Suspend {
+                    thread: 1,
+                    duration: Some(80_000),
+                },
+            }
+        );
+        assert_eq!(
+            p.events[3].trigger,
+            Trigger::WhenWaiting {
+                thread: 1,
+                after: 5_000,
+            }
+        );
+        assert_eq!(
+            p.events[4].inject,
+            Inject::Suspend {
+                thread: 0,
+                duration: None,
+            }
+        );
+        assert_eq!(p.events[6].inject.label(), "wire_delay");
+        assert_eq!(p.events[7].inject, Inject::WireClear);
+    }
+
+    #[test]
+    fn parse_round_trips_through_builder_equivalent() {
+        let parsed = FaultPlan::parse("at 100 suspend 0 for 50\n").unwrap();
+        let built = FaultPlan::new().suspend_at(100, 0, 50);
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line_and_problem() {
+        for (text, needle) in [
+            ("frobnicate 3", "unknown directive"),
+            ("at x suspend 0", "bad cycle"),
+            ("at 10 explode 0", "unknown injection verb"),
+            ("at 10 migrate 0 3", "expected \"to\""),
+            ("at 10 suspend 0 for", "missing duration"),
+            ("at 10 wire-delay every 0 extra 5", "must be positive"),
+            ("horizon 5 extra", "trailing token"),
+            ("when-waiting 1 5000 suspend 1", "expected \"after\""),
+        ] {
+            let err = FaultPlan::parse(text).expect_err(text);
+            assert!(err.contains("line 1"), "{err}");
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn poll_zero_is_clamped() {
+        let p = FaultPlan::parse("poll 0").unwrap();
+        assert_eq!(p.poll, 1);
+    }
+}

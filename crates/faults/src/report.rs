@@ -1,0 +1,243 @@
+//! Pass/fail reporting for the backend × fault-class matrix: verdict
+//! computation, deterministic CSV, and a self-contained HTML artifact.
+
+use std::fmt::Write as _;
+
+use crate::driver::DriveOutcome;
+use crate::oracle::Violation;
+
+/// One cell of the backend × fault-class matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// Backend label (e.g. "lcu", "mcs").
+    pub backend: String,
+    /// Fault-class label (e.g. "none", "suspend", "migrate").
+    pub fault: String,
+    /// Verdict string: "pass", "LIVENESS", "FAIRNESS", "EXCLUSION", or
+    /// "n/a" for combinations the backend does not support.
+    pub verdict: String,
+    /// Liveness violation count.
+    pub liveness: usize,
+    /// Fairness violation count.
+    pub fairness: usize,
+    /// Exclusion violation count.
+    pub exclusion: usize,
+    /// Injections the machine/backend accepted.
+    pub injections: u64,
+    /// Cycle the run stopped at.
+    pub end_cycle: u64,
+    /// Whether every thread ran to completion.
+    pub finished: bool,
+}
+
+impl MatrixCell {
+    /// Builds a cell from a driven run and its oracle verdicts. The verdict
+    /// names the most severe violated oracle (exclusion > liveness >
+    /// fairness) or "pass" when none fired.
+    pub fn from_run(
+        backend: &str,
+        fault: &str,
+        outcome: &DriveOutcome,
+        violations: &[Violation],
+        finished: bool,
+    ) -> Self {
+        let count = |o: &str| violations.iter().filter(|v| v.oracle == o).count();
+        let (liveness, fairness, exclusion) =
+            (count("liveness"), count("fairness"), count("exclusion"));
+        let verdict = if exclusion > 0 {
+            "EXCLUSION"
+        } else if liveness > 0 {
+            "LIVENESS"
+        } else if fairness > 0 {
+            "FAIRNESS"
+        } else {
+            "pass"
+        };
+        MatrixCell {
+            backend: backend.to_string(),
+            fault: fault.to_string(),
+            verdict: verdict.to_string(),
+            liveness,
+            fairness,
+            exclusion,
+            injections: outcome.injections_applied(),
+            end_cycle: outcome.end_cycle,
+            finished,
+        }
+    }
+
+    /// Builds an "n/a" cell for a combination the backend does not support
+    /// (e.g. FLT eviction on a software lock).
+    pub fn not_applicable(backend: &str, fault: &str) -> Self {
+        MatrixCell {
+            backend: backend.to_string(),
+            fault: fault.to_string(),
+            verdict: "n/a".to_string(),
+            liveness: 0,
+            fairness: 0,
+            exclusion: 0,
+            injections: 0,
+            end_cycle: 0,
+            finished: false,
+        }
+    }
+
+    /// Whether this cell passed (or was not applicable).
+    pub fn ok(&self) -> bool {
+        self.verdict == "pass" || self.verdict == "n/a"
+    }
+}
+
+/// Renders the matrix as CSV. Output is a pure function of the cells, so
+/// two same-seed runs produce byte-identical files.
+pub fn csv(cells: &[MatrixCell]) -> String {
+    let mut s = String::from(
+        "backend,fault,verdict,liveness,fairness,exclusion,injections,end_cycle,finished\n",
+    );
+    for c in cells {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{}",
+            c.backend,
+            c.fault,
+            c.verdict,
+            c.liveness,
+            c.fairness,
+            c.exclusion,
+            c.injections,
+            c.end_cycle,
+            c.finished
+        );
+    }
+    s
+}
+
+/// Renders the matrix as a self-contained HTML page (inline CSS, no
+/// external assets), with one table row per cell and verdict colouring.
+pub fn html(cells: &[MatrixCell], title: &str) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>{title}</title><style>\
+         body{{font-family:sans-serif;margin:2em;}}\
+         table{{border-collapse:collapse;}}\
+         th,td{{border:1px solid #999;padding:0.3em 0.8em;text-align:right;}}\
+         th{{background:#eee;}}td.l{{text-align:left;}}\
+         .pass{{background:#cfc;}}.fail{{background:#fcc;font-weight:bold;}}\
+         .na{{background:#f4f4f4;color:#888;}}\
+         </style></head><body><h1>{title}</h1>\n<table>\n\
+         <tr><th>backend</th><th>fault</th><th>verdict</th>\
+         <th>liveness</th><th>fairness</th><th>exclusion</th>\
+         <th>injections</th><th>end cycle</th><th>finished</th></tr>\n"
+    );
+    for c in cells {
+        let class = match c.verdict.as_str() {
+            "pass" => "pass",
+            "n/a" => "na",
+            _ => "fail",
+        };
+        let _ = writeln!(
+            s,
+            "<tr><td class=\"l\">{}</td><td class=\"l\">{}</td>\
+             <td class=\"{}\">{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td></tr>",
+            c.backend,
+            c.fault,
+            class,
+            c.verdict,
+            c.liveness,
+            c.fairness,
+            c.exclusion,
+            c.injections,
+            c.end_cycle,
+            c.finished
+        );
+    }
+    s.push_str("</table>\n</body></html>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SuspensionWindows;
+    use locksim_machine::RunExit;
+
+    fn outcome(end_cycle: u64) -> DriveOutcome {
+        DriveOutcome {
+            exit: RunExit::TimeLimit,
+            end_cycle,
+            applied: Vec::new(),
+            windows: SuspensionWindows::default(),
+        }
+    }
+
+    fn violation(oracle: &'static str) -> Violation {
+        Violation {
+            oracle,
+            lock: 0x40,
+            thread: 1,
+            value: 2,
+            at: 3,
+        }
+    }
+
+    #[test]
+    fn verdict_ranks_exclusion_over_liveness_over_fairness() {
+        let o = outcome(100);
+        let all = [
+            violation("fairness"),
+            violation("liveness"),
+            violation("exclusion"),
+        ];
+        assert_eq!(
+            MatrixCell::from_run("b", "f", &o, &all, false).verdict,
+            "EXCLUSION"
+        );
+        assert_eq!(
+            MatrixCell::from_run("b", "f", &o, &all[..2], false).verdict,
+            "LIVENESS"
+        );
+        assert_eq!(
+            MatrixCell::from_run("b", "f", &o, &all[..1], false).verdict,
+            "FAIRNESS"
+        );
+        let clean = MatrixCell::from_run("b", "f", &o, &[], true);
+        assert_eq!(clean.verdict, "pass");
+        assert!(clean.ok());
+        assert!(MatrixCell::not_applicable("b", "f").ok());
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_greppable() {
+        let cells = vec![
+            MatrixCell::from_run("lcu", "suspend", &outcome(500), &[], true),
+            MatrixCell::from_run(
+                "mcs",
+                "suspend",
+                &outcome(900),
+                &[violation("liveness")],
+                false,
+            ),
+            MatrixCell::not_applicable("mcs", "flt-evict"),
+        ];
+        let a = csv(&cells);
+        let b = csv(&cells);
+        assert_eq!(a, b);
+        assert!(a.starts_with("backend,fault,verdict,"));
+        assert!(a.contains("lcu,suspend,pass,0,0,0,0,500,true\n"));
+        assert!(a.contains("mcs,suspend,LIVENESS,1,0,0,0,900,false\n"));
+        assert!(a.contains("mcs,flt-evict,n/a,"));
+    }
+
+    #[test]
+    fn html_is_self_contained() {
+        let cells = vec![MatrixCell::from_run("lcu", "none", &outcome(1), &[], true)];
+        let page = html(&cells, "faultsim");
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.ends_with("</html>\n"));
+        assert!(page.contains("<td class=\"pass\">pass</td>"));
+        assert!(!page.contains("http"), "no external assets");
+    }
+}

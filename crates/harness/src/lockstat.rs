@@ -256,15 +256,16 @@ pub fn tables(cfg: &StarvationCfg, runs: &[LockstatRun]) -> Vec<Table> {
 /// text reports, CSVs, and HTML report.
 pub fn cli_main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut opts, rest) = match obs::parse_cli_partial(&args) {
+    let flags = [obs::BinFlag {
+        name: "--quick",
+        takes_value: false,
+    }];
+    let (mut opts, extras) = match obs::parse_bin_cli(&args, &flags) {
         Ok(parsed) => parsed,
         Err(msg) => usage_exit(&msg),
     };
-    for extra in &rest {
-        match extra.as_str() {
-            "--quick" => std::env::set_var("LOCKSIM_QUICK", "1"),
-            other => usage_exit(&format!("unknown argument {other:?}")),
-        }
+    if extras.contains_key("--quick") {
+        std::env::set_var("LOCKSIM_QUICK", "1");
     }
     // This bin always writes the HTML report; --lockstat only moves it.
     if opts.lockstat_path.is_none() {

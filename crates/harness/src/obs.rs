@@ -141,6 +141,60 @@ pub fn parse_cli(args: &[String]) -> Result<CliOpts, String> {
     Ok(opts)
 }
 
+/// A bin-specific flag recognized by [`parse_bin_cli`] on top of the
+/// shared observability flags.
+#[derive(Debug, Clone, Copy)]
+pub struct BinFlag {
+    /// The flag, including the leading dashes (e.g. `"--quick"`).
+    pub name: &'static str,
+    /// Whether the flag consumes the following argument as its value.
+    /// Switches store `"1"` when present.
+    pub takes_value: bool,
+}
+
+/// Parses a bin's full argument list: the shared observability flags
+/// (see [`parse_cli_partial`]) plus the bin-specific `flags`. Every bin
+/// with its own flags (`lockstat`, `faultsim`) goes through this one
+/// helper so unknown-flag handling is uniform: the error names the
+/// offending argument and lists everything supported.
+///
+/// # Errors
+///
+/// Returns a usage message naming the flag on an unknown argument or a
+/// missing/invalid value.
+pub fn parse_bin_cli(
+    args: &[String],
+    flags: &[BinFlag],
+) -> Result<(CliOpts, BTreeMap<&'static str, String>), String> {
+    let (opts, rest) = parse_cli_partial(args)?;
+    let mut extras = BTreeMap::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let Some(f) = flags.iter().find(|f| f.name == a.as_str()) else {
+            let mut supported: Vec<&str> = flags.iter().map(|f| f.name).collect();
+            supported.extend([
+                "--trace <path>",
+                "--trace-cap <records>",
+                "--lockstat <path>",
+                "--watchdog-cycles <n>",
+            ]);
+            return Err(format!(
+                "unknown argument {a:?} (supported: {})",
+                supported.join(", ")
+            ));
+        };
+        let value = if f.takes_value {
+            it.next()
+                .ok_or_else(|| format!("{} requires a value", f.name))?
+                .clone()
+        } else {
+            "1".to_string()
+        };
+        extras.insert(f.name, value);
+    }
+    Ok((opts, extras))
+}
+
 /// Applies process arguments to the observability state. Exits with a
 /// usage message on bad arguments. Safe to call more than once (the `all`
 /// binary calls it per figure); an already-captured trace is not redone.
@@ -349,5 +403,44 @@ mod tests {
     #[test]
     fn empty_args_are_fine() {
         assert_eq!(parse_cli(&[]).unwrap(), CliOpts::default());
+    }
+
+    const BIN_FLAGS: &[BinFlag] = &[
+        BinFlag {
+            name: "--quick",
+            takes_value: false,
+        },
+        BinFlag {
+            name: "--seed",
+            takes_value: true,
+        },
+    ];
+
+    #[test]
+    fn bin_cli_mixes_shared_and_bin_flags() {
+        let (opts, extras) = parse_bin_cli(
+            &args(&["--quick", "--lockstat", "r.html", "--seed", "7"]),
+            BIN_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(opts.lockstat_path, Some(PathBuf::from("r.html")));
+        assert_eq!(extras.get("--quick").map(String::as_str), Some("1"));
+        assert_eq!(extras.get("--seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn bin_cli_names_the_unknown_flag() {
+        let err = parse_bin_cli(&args(&["--frobnicate"]), BIN_FLAGS).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+        assert!(err.contains("--quick"), "lists bin flags: {err}");
+        assert!(err.contains("--trace"), "lists shared flags: {err}");
+    }
+
+    #[test]
+    fn bin_cli_requires_values() {
+        let err = parse_bin_cli(&args(&["--seed"]), BIN_FLAGS).unwrap_err();
+        assert!(err.contains("--seed requires a value"), "{err}");
+        // Shared-flag value errors propagate unchanged.
+        assert!(parse_bin_cli(&args(&["--trace"]), BIN_FLAGS).is_err());
     }
 }

@@ -31,7 +31,7 @@ pub use addr::{home_of, Addr, Alloc, WORDS_PER_LINE};
 pub use checker::Checker;
 pub use config::{MachineConfig, MachineModel};
 pub use ideal::IdealBackend;
-pub use lock::{LockBackend, Mode};
+pub use lock::{BackendFault, LockBackend, Mode};
 pub use locksim_coherence::LineAddr;
 pub use prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
 pub use world::{CycleDissection, Ep, Mach, MemKind, RunExit, ThreadStats, World};

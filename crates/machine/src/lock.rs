@@ -27,6 +27,20 @@ impl Mode {
     }
 }
 
+/// A capacity fault injected into a lock backend (see
+/// [`crate::World::inject_backend_fault`]). Backends opt in per fault class
+/// via [`LockBackend::on_fault`]; unsupported classes are reported back to
+/// the injector as unapplied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendFault {
+    /// Force-evict one parked free-lock-table entry on `core`, as capacity
+    /// pressure would (LCU backends only).
+    FltEvict {
+        /// The core whose FLT loses an entry.
+        core: usize,
+    },
+}
+
 /// A lock implementation driven by the machine's event loop.
 ///
 /// Exactly one backend exists per [`crate::World`]. The world forwards
@@ -90,6 +104,13 @@ pub trait LockBackend {
     /// Thread `t` was preempted off its core.
     fn on_thread_descheduled(&mut self, m: &mut Mach, t: ThreadId) {
         let _ = (m, t);
+    }
+
+    /// A capacity fault was injected. Returns `true` if the backend applied
+    /// it; the default declines every fault class.
+    fn on_fault(&mut self, m: &mut Mach, fault: BackendFault) -> bool {
+        let _ = (m, fault);
+        false
     }
 
     /// Protocol counters for reports.

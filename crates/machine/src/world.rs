@@ -18,7 +18,7 @@ use locksim_trace::{
 
 use crate::addr::{home_of, Addr, Alloc};
 use crate::config::MachineConfig;
-use crate::lock::{LockBackend, Mode};
+use crate::lock::{BackendFault, LockBackend, Mode};
 use crate::prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
 
 /// A memory operation kind carried through the memory system.
@@ -221,6 +221,9 @@ struct ThreadState {
     compute_left: Cycles,
     /// Bumped to invalidate in-flight Resume events on preemption.
     resume_gen: u64,
+    /// Suspended by fault injection: off-core and *not* in the ready queue
+    /// until [`World::resume_thread`].
+    suspended: bool,
 }
 
 impl std::fmt::Debug for ThreadState {
@@ -271,10 +274,21 @@ pub struct Mach {
     alive: usize,
     quantum_gen: u64,
     quantum_active: bool,
+    /// Deterministic wire-delay fault: every `period`-th network message is
+    /// delayed by `extra` cycles (fault injection).
+    wire_fault: Option<WireFault>,
     /// Debug tracing configuration, parsed once from the environment
     /// (LOCKSIM_TRACE, LOCKSIM_TRACELINE, LOCKSIM_WATCHLINE) so the hot
     /// dispatch paths never touch the environment.
     dbg: DebugCfg,
+}
+
+/// Counter-based message-delay fault (see [`Mach::set_wire_fault`]).
+#[derive(Debug, Clone, Copy)]
+struct WireFault {
+    period: u64,
+    extra: Cycles,
+    counter: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -329,6 +343,39 @@ impl Mach {
     /// Whether thread `t` is currently installed on a core.
     pub fn is_scheduled(&self, t: ThreadId) -> bool {
         self.threads[t.0 as usize].core.is_some()
+    }
+
+    /// Whether thread `t` is suspended by fault injection (off-core and not
+    /// runnable until [`World::resume_thread`]).
+    pub fn is_suspended(&self, t: ThreadId) -> bool {
+        self.threads[t.0 as usize].suspended
+    }
+
+    /// The lock and mode of thread `t`'s outstanding acquire, if any.
+    pub fn waiting_on(&self, t: ThreadId) -> Option<(Addr, Mode)> {
+        self.threads[t.0 as usize].waiting_on
+    }
+
+    /// Number of locks thread `t` currently holds.
+    pub fn holding_count(&self, t: ThreadId) -> usize {
+        self.threads[t.0 as usize].holding.len()
+    }
+
+    /// Installs a deterministic wire-delay fault: every `period`-th network
+    /// message (counted machine-wide from this call) is delayed by `extra`
+    /// cycles. Replaces any previous fault; `period` of 0 is rejected.
+    pub fn set_wire_fault(&mut self, period: u64, extra: Cycles) {
+        assert!(period > 0, "wire fault period must be positive");
+        self.wire_fault = Some(WireFault {
+            period,
+            extra,
+            counter: 0,
+        });
+    }
+
+    /// Removes any installed wire-delay fault.
+    pub fn clear_wire_fault(&mut self) {
+        self.wire_fault = None;
     }
 
     /// Global machine counters (mutable for backends).
@@ -601,6 +648,18 @@ impl Mach {
     /// trace record on the link track. All machine traffic goes through
     /// here so the `net_*` counters and the trace agree by construction.
     fn net_send(&mut self, t0: Time, src: NodeId, dst: NodeId, class: MsgClass) -> Time {
+        let t0 = match &mut self.wire_fault {
+            Some(f) => {
+                f.counter += 1;
+                if f.counter % f.period == 0 {
+                    self.metrics.incr("wire_fault_delays");
+                    t0 + f.extra
+                } else {
+                    t0
+                }
+            }
+            None => t0,
+        };
         self.metrics.incr(match class {
             MsgClass::Control => "net_control_msgs",
             MsgClass::Data => "net_data_msgs",
@@ -858,6 +917,7 @@ impl World {
                 alive: 0,
                 quantum_gen: 0,
                 quantum_active: false,
+                wire_fault: None,
                 dbg: DebugCfg::from_env(),
             },
             backend,
@@ -966,6 +1026,7 @@ impl World {
             computing: None,
             compute_left: 0,
             resume_gen: 0,
+            suspended: false,
             waiting_on: None,
             holding: Vec::new(),
             acct_cat: CycleCat::default(),
@@ -1043,6 +1104,150 @@ impl World {
         if let Some(next) = self.mach.ready.pop_front() {
             self.install(next, core.0 as usize, self.mach.cfg.ctx_switch);
         }
+    }
+
+    /// Force-deschedules a running thread to the ready queue; its core is
+    /// left empty for the caller to refill.
+    fn deschedule_to_ready(&mut self, t: ThreadId) {
+        let ti = t.0 as usize;
+        let core = self.mach.threads[ti]
+            .core
+            .expect("descheduling off-core thread");
+        self.suspend_compute(t);
+        self.mach.acct_switch(ti, CycleCat::Preempted);
+        self.mach.trace(|now| TraceEvent {
+            t: now,
+            ep: TraceEp::Thread(t.0),
+            kind: TraceKind::SchedPreempt {
+                thread: t.0,
+                core: core.0,
+            },
+        });
+        self.mach.cores[core.0 as usize] = None;
+        self.mach.threads[ti].core = None;
+        self.mach.threads[ti].run = ThreadRun::Ready;
+        self.mach.threads[ti].stats.preemptions += 1;
+        self.mach.ready.push_back(t);
+        self.backend.on_thread_descheduled(&mut self.mach, t);
+    }
+
+    /// Suspends a thread by fault injection: it leaves its core (or the
+    /// ready queue) and will not run again until [`World::resume_thread`].
+    /// Unlike [`World::preempt`] the thread does *not* rejoin the ready
+    /// queue — this models a thread the OS has descheduled for an unbounded
+    /// time, the robustness regime of the paper's Section 3.5. Returns
+    /// `false` (no-op) if the thread is already suspended or finished.
+    pub fn suspend(&mut self, t: ThreadId) -> bool {
+        let ti = t.0 as usize;
+        if self.mach.threads[ti].suspended || self.mach.threads[ti].run == ThreadRun::Finished {
+            return false;
+        }
+        self.mach.threads[ti].suspended = true;
+        self.mach.metrics.incr("fault_suspensions");
+        let core = self.mach.threads[ti].core;
+        if core.is_some() {
+            self.deschedule_to_ready(t);
+        }
+        self.mach.ready.retain(|&x| x != t);
+        if let Some(c) = core {
+            if let Some(next) = self.mach.ready.pop_front() {
+                self.install(next, c.0 as usize, self.mach.cfg.ctx_switch);
+            }
+        }
+        true
+    }
+
+    /// Resumes a thread suspended by [`World::suspend`]: it is installed on
+    /// a free core immediately or rejoins the ready queue. Returns `false`
+    /// if the thread is not suspended.
+    pub fn resume_thread(&mut self, t: ThreadId) -> bool {
+        let ti = t.0 as usize;
+        if !self.mach.threads[ti].suspended {
+            return false;
+        }
+        self.mach.threads[ti].suspended = false;
+        self.mach.metrics.incr("fault_resumes");
+        if let Some(core) = self.mach.cores.iter().position(|c| c.is_none()) {
+            self.install(t, core, self.mach.cfg.ctx_switch);
+        } else {
+            self.mach.ready.push_back(t);
+        }
+        self.maybe_activate_quantum();
+        true
+    }
+
+    /// Forcibly migrates a thread to core `to`, evicting any thread
+    /// currently running there to the ready queue (unlike
+    /// [`World::migrate`], which requires a free target core). Works on
+    /// both running and ready threads. Returns `false` (no-op) if the
+    /// thread is suspended, finished, or already on `to`.
+    pub fn force_migrate(&mut self, t: ThreadId, to: usize) -> bool {
+        let ti = t.0 as usize;
+        let th = &self.mach.threads[ti];
+        if th.suspended || th.run == ThreadRun::Finished || th.core == Some(CoreId(to as u32)) {
+            return false;
+        }
+        if let Some(victim) = self.mach.cores[to] {
+            self.deschedule_to_ready(victim);
+        }
+        self.mach.metrics.incr("migrations");
+        match self.mach.threads[ti].core {
+            Some(from) => {
+                self.mach.cores[from.0 as usize] = None;
+                self.mach.threads[ti].core = None;
+                self.backend.on_thread_descheduled(&mut self.mach, t);
+                self.mach.acct_switch(ti, CycleCat::Preempted);
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Thread(t.0),
+                    kind: TraceKind::SchedMigrate {
+                        thread: t.0,
+                        from: from.0,
+                        to: to as u32,
+                    },
+                });
+                // Refill the vacated source core (possibly with the thread
+                // just evicted from the target).
+                if let Some(next) = self.mach.ready.pop_front() {
+                    self.install(next, from.0 as usize, self.mach.cfg.ctx_switch);
+                }
+            }
+            None => {
+                self.mach.ready.retain(|&x| x != t);
+                self.mach.trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Thread(t.0),
+                    kind: TraceKind::SchedMigrate {
+                        thread: t.0,
+                        from: u32::MAX,
+                        to: to as u32,
+                    },
+                });
+            }
+        }
+        self.install(t, to, self.mach.cfg.ctx_switch);
+        true
+    }
+
+    /// Routes a capacity fault to the lock backend; returns whether the
+    /// backend applied it (see [`BackendFault`]).
+    pub fn inject_backend_fault(&mut self, fault: BackendFault) -> bool {
+        self.backend.on_fault(&mut self.mach, fault)
+    }
+
+    /// Runs until simulated time reaches exactly `cycle`, draining every
+    /// event scheduled at or before it — the stepping primitive for
+    /// exact-cycle fault injection. On [`RunExit::TimeLimit`] and
+    /// [`RunExit::Stalled`] the clock is advanced to exactly `cycle` so a
+    /// subsequent injection lands at that cycle; [`RunExit::AllFinished`]
+    /// leaves the clock at the final event.
+    pub fn run_until_cycle(&mut self, cycle: u64) -> RunExit {
+        let lim = Time::from_cycles(cycle);
+        let exit = self.run_for(Some(lim));
+        if exit != RunExit::AllFinished {
+            self.mach.sim.advance_to(lim);
+        }
+        exit
     }
 
     /// Runs until every thread finishes.

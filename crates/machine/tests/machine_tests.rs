@@ -460,3 +460,128 @@ fn deterministic_across_runs() {
     // Note: with a different seed timing may or may not differ (programs
     // here are deterministic), so only same-seed equality is asserted.
 }
+
+#[test]
+fn suspend_parks_thread_until_resume() {
+    let mut w = world_a(2);
+    w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Compute(1_000),
+        Action::Compute(1_000),
+    ])));
+    let t = ThreadId(0);
+    assert_eq!(w.run_until_cycle(500), RunExit::TimeLimit);
+    assert!(w.suspend(t));
+    assert!(w.mach().is_suspended(t));
+    assert!(!w.suspend(t), "double suspend is a no-op");
+    // A suspended thread never runs: the queue drains with it still alive.
+    assert_eq!(w.run_for(None), RunExit::Stalled);
+    assert!(w.resume_thread(t));
+    assert!(!w.mach().is_suspended(t));
+    w.run_to_completion();
+    assert!(w.mach().now().cycles() >= 2_000);
+}
+
+#[test]
+fn suspend_from_ready_queue_and_resume() {
+    // 2 threads on 1 core: t1 waits in the ready queue; suspend it there.
+    let mut cfg = MachineConfig::model_a(1);
+    cfg.quantum = 100; // slice quickly so both threads make progress
+    let mut w = World::new(cfg, Box::new(IdealBackend::new()), 3);
+    for _ in 0..2 {
+        w.spawn(Box::new(ScriptProgram::new(vec![Action::Compute(5_000)])));
+    }
+    let t1 = ThreadId(1);
+    assert!(!w.mach().is_scheduled(t1), "t1 starts in the ready queue");
+    assert!(w.suspend(t1));
+    assert_eq!(w.run_for(None), RunExit::Stalled);
+    assert!(w.resume_thread(t1));
+    w.run_to_completion();
+}
+
+#[test]
+fn force_migrate_evicts_target_occupant() {
+    let mut w = world_a(2);
+    let n = w.mach().n_cores();
+    assert!(n >= 2);
+    for _ in 0..2 {
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Compute(10_000),
+            Action::Compute(10_000),
+        ])));
+    }
+    let (t0, t1) = (ThreadId(0), ThreadId(1));
+    w.run_until_cycle(500);
+    let c1 = w.mach().core_of(t1).unwrap().0 as usize;
+    // Force t0 onto t1's core: t1 is evicted to the ready queue and picks
+    // up t0's vacated core.
+    assert!(w.force_migrate(t0, c1));
+    w.run_to_completion();
+    assert!(w.mach().counters_mut().get("migrations") >= 1);
+    assert!(w.mach().thread_stats(t1).preemptions >= 1);
+}
+
+#[test]
+fn run_until_cycle_lands_on_exact_cycle() {
+    let mut w = world_a(2);
+    w.spawn(Box::new(ScriptProgram::new(vec![Action::Compute(10_000)])));
+    assert_eq!(w.run_until_cycle(777), RunExit::TimeLimit);
+    assert_eq!(w.mach().now().cycles(), 777);
+    w.run_to_completion();
+}
+
+#[test]
+fn wire_fault_delays_messages_deterministically() {
+    let run = |faulty: bool| {
+        let mut w = world_a(2);
+        if faulty {
+            w.mach().set_wire_fault(2, 500);
+        }
+        let a = w.mach().alloc().alloc_line();
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Write(a, 1),
+            Action::Read(a.add(1)),
+        ])));
+        w.run_to_completion();
+        (
+            w.mach().now().cycles(),
+            w.mach().counters_mut().get("wire_fault_delays"),
+        )
+    };
+    let (clean, d0) = run(false);
+    let (faulty, d1) = run(true);
+    assert_eq!(d0, 0);
+    assert!(d1 > 0, "fault must fire");
+    assert!(faulty > clean, "delays must slow the run");
+    assert_eq!(run(true), run(true), "fault stays deterministic");
+}
+
+#[test]
+fn suspended_holder_blocks_then_unblocks_waiters() {
+    // Writer t0 takes the lock then gets suspended mid-hold; t1's acquire
+    // cannot be granted until t0 resumes and releases.
+    let mut w = world_a(4);
+    let lock = w.mach().alloc().alloc_line();
+    for _ in 0..2 {
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Acquire {
+                lock,
+                mode: Mode::Write,
+                try_for: None,
+            },
+            Action::Compute(2_000),
+            Action::Release {
+                lock,
+                mode: Mode::Write,
+            },
+        ])));
+    }
+    let t0 = ThreadId(0);
+    w.run_until_cycle(1_000);
+    assert_eq!(w.mach().holding_count(t0), 1);
+    w.suspend(t0);
+    let exit = w.run_for(Some(locksim_engine::Time::from_cycles(200_000)));
+    assert_ne!(exit, RunExit::AllFinished, "t1 must still be waiting");
+    assert!(w.mach().waiting_on(ThreadId(1)).is_some());
+    w.resume_thread(t0);
+    w.run_to_completion();
+}

@@ -369,6 +369,17 @@ impl LockBackend for SsbBackend {
         }
     }
 
+    fn on_thread_descheduled(&mut self, m: &mut Mach, t: ThreadId) {
+        // The SSB keeps retrying from the bank side regardless, but an
+        // off-core requester cannot take a grant; count the exposure for
+        // fault attribution.
+        if let Some(p) = self.pending.get(&t) {
+            let addr = p.addr;
+            self.counters.incr("ssb_descheduled_midop");
+            m.lockstat_bump(addr, "ssb_descheduled_midop");
+        }
+    }
+
     fn counters(&self) -> Counters {
         self.counters.clone()
     }

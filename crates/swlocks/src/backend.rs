@@ -232,6 +232,18 @@ impl LockBackend for SwLockBackend {
         self.redrive(m, t);
     }
 
+    fn on_thread_descheduled(&mut self, m: &mut Mach, t: ThreadId) {
+        // A software lock has no hardware agent acting for an off-core
+        // thread: its operation simply freezes, leaving queue successors
+        // blocked until it runs again. Count the exposure so fault reports
+        // can attribute the resulting stalls.
+        if let Some(tsm) = self.st.threads.get(&t) {
+            let lock = tsm.lock;
+            self.st.counters.incr("sw_descheduled_midop");
+            m.lockstat_bump(lock, "sw_descheduled_midop");
+        }
+    }
+
     fn counters(&self) -> Counters {
         self.st.counters.clone()
     }

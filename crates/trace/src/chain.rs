@@ -373,6 +373,96 @@ mod tests {
     }
 
     #[test]
+    fn migration_mid_queue_keeps_attribution_on_the_thread() {
+        // Thread 1 queues behind the holder on core 1, migrates to core 3
+        // mid-wait (the LCU reissues its request from the new core), and is
+        // granted after the holder's release. The chain must attribute the
+        // handoff to thread 1 — sched records and the endpoint's core id
+        // are not part of the causal reconstruction — and the handoff test
+        // must use the live (reissued) request, not the stale one.
+        let evs = vec![
+            req(0, 0x40, 0, true),
+            grant(1, 0x40, 0, true, 1),
+            TraceEvent {
+                t: Time::from_cycles(10),
+                ep: Ep::Thread(1),
+                kind: TraceKind::LockRequest {
+                    lock: 0x40,
+                    thread: 1,
+                    write: true,
+                },
+            },
+            TraceEvent {
+                t: Time::from_cycles(200),
+                ep: Ep::Core(1),
+                kind: TraceKind::SchedMigrate {
+                    thread: 1,
+                    from: 1,
+                    to: 3,
+                },
+            },
+            // Reissue from the destination core, still before the release.
+            TraceEvent {
+                t: Time::from_cycles(250),
+                ep: Ep::Thread(1),
+                kind: TraceKind::LockRequest {
+                    lock: 0x40,
+                    thread: 1,
+                    write: true,
+                },
+            },
+            TraceEvent {
+                t: Time::from_cycles(2210),
+                ep: Ep::Core(3),
+                kind: TraceKind::SchedRun { thread: 1, core: 3 },
+            },
+            rel(2500, 0x40, 0, true),
+            grant(2510, 0x40, 1, true, 2260),
+            rel(2600, 0x40, 1, true),
+        ];
+        let chains = blocking_chains(&evs);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        let threads: Vec<u32> = c.links.iter().map(|l| l.thread).collect();
+        assert_eq!(threads, vec![0, 1], "handoff chains through thread 1");
+        assert_eq!(c.links[1].wait, 2260);
+        assert!(c.describe().contains("t0:w -> t1:w"), "{}", c.describe());
+    }
+
+    #[test]
+    fn reissue_after_release_is_not_a_stale_handoff() {
+        // The stale pre-migration request (t=10) predates the release, but
+        // the thread abandoned it when it migrated; the live reissue lands
+        // after the release, so the grant found the lock idle — no chain.
+        let evs = vec![
+            req(0, 0x40, 0, true),
+            grant(1, 0x40, 0, true, 1),
+            req(10, 0x40, 1, true),
+            TraceEvent {
+                t: Time::from_cycles(80),
+                ep: Ep::Core(1),
+                kind: TraceKind::SchedMigrate {
+                    thread: 1,
+                    from: 1,
+                    to: 3,
+                },
+            },
+            rel(100, 0x40, 0, true),
+            // Reissue from the new core only after the holder already left.
+            req(150, 0x40, 1, true),
+            grant(151, 0x40, 1, true, 1),
+            rel(200, 0x40, 1, true),
+        ];
+        let chains = blocking_chains(&evs);
+        assert_eq!(
+            chains[0].links.len(),
+            1,
+            "stale request must not fabricate a handoff: {}",
+            chains[0].describe()
+        );
+    }
+
+    #[test]
     fn empty_trace_renders_explanation() {
         let chains = blocking_chains(std::iter::empty());
         assert!(chains.is_empty());

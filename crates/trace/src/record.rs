@@ -132,6 +132,27 @@ pub enum TraceKind {
         /// Cycles the thread had waited when flagged.
         waited: u64,
     },
+    /// The fault-injection subsystem applied an injection.
+    FaultInject {
+        /// Fault class label ("suspend", "resume", "migrate", "flt_evict",
+        /// "lrt_evict", "wire_delay").
+        fault: &'static str,
+        /// The targeted thread (`u32::MAX` for machine-wide faults).
+        thread: u32,
+        /// Fault-specific argument (destination core, delay cycles, …).
+        arg: u64,
+    },
+    /// A liveness/fairness/exclusion oracle detected a violation.
+    OracleViolation {
+        /// The violated oracle ("liveness", "fairness", "exclusion").
+        oracle: &'static str,
+        /// Lock line address the violation concerns.
+        lock: u64,
+        /// The wronged thread.
+        thread: u32,
+        /// Oracle-specific magnitude (cycles waited, overtake count).
+        value: u64,
+    },
     /// A protocol timer fired.
     TimerFire {
         /// What the timer guards (protocol-specific label).
@@ -160,6 +181,8 @@ impl TraceKind {
             TraceKind::SchedPreempt { .. } => "sched_preempt",
             TraceKind::SchedMigrate { .. } => "sched_migrate",
             TraceKind::Starve { .. } => "starve",
+            TraceKind::FaultInject { .. } => "fault_inject",
+            TraceKind::OracleViolation { .. } => "oracle_violation",
             TraceKind::TimerFire { .. } => "timer_fire",
             TraceKind::Mark { .. } => "mark",
         }
@@ -174,7 +197,8 @@ impl TraceKind {
             | TraceKind::LockRelease { lock, .. }
             | TraceKind::LockFail { lock, .. }
             | TraceKind::EntryState { lock, .. }
-            | TraceKind::Starve { lock, .. } => Some(lock),
+            | TraceKind::Starve { lock, .. }
+            | TraceKind::OracleViolation { lock, .. } => Some(lock),
             _ => None,
         }
     }

@@ -310,6 +310,23 @@ fn args_json(kind: &TraceKind) -> String {
         } => {
             format!("\"lock\":{lock},\"thread\":{thread},\"write\":{write},\"waited\":{waited}")
         }
+        TraceKind::FaultInject { fault, thread, arg } => {
+            format!(
+                "\"fault\":{},\"thread\":{thread},\"arg\":{arg}",
+                json_str(fault)
+            )
+        }
+        TraceKind::OracleViolation {
+            oracle,
+            lock,
+            thread,
+            value,
+        } => {
+            format!(
+                "\"oracle\":{},\"lock\":{lock},\"thread\":{thread},\"value\":{value}",
+                json_str(oracle)
+            )
+        }
         TraceKind::TimerFire { label } | TraceKind::Mark { label } => {
             format!("\"label\":{}", json_str(label))
         }
@@ -379,6 +396,17 @@ fn render_line(e: &TraceEvent) -> String {
                 "lock {lock:#x} t{thread} {} waited {waited} cy",
                 rw(write)
             );
+        }
+        TraceKind::FaultInject { fault, thread, arg } => {
+            let _ = write!(line, "{fault} t{thread} arg={arg}");
+        }
+        TraceKind::OracleViolation {
+            oracle,
+            lock,
+            thread,
+            value,
+        } => {
+            let _ = write!(line, "{oracle} lock {lock:#x} t{thread} value={value}");
         }
         TraceKind::TimerFire { label } | TraceKind::Mark { label } => {
             let _ = write!(line, "{label}");

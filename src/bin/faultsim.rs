@@ -1,0 +1,7 @@
+//! Root-package shim so `cargo run --release --bin faultsim` works from
+//! the workspace root without `-p locksim-harness`. See
+//! `crates/harness/src/bin/faultsim.rs` for the harness-local twin.
+
+fn main() {
+    locksim::harness::faultsim::cli_main();
+}
