@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 
 use locksim_machine::{BackendFault, RunExit, ThreadId, TraceEp, TraceEvent, TraceKind, World};
 
+use crate::detect::{self, DeadlockReport};
 use crate::plan::{FaultPlan, Inject, Trigger};
 
 /// One injection the driver attempted, in application order.
@@ -85,6 +86,9 @@ pub struct DriveOutcome {
     pub applied: Vec<Applied>,
     /// Recorded suspension windows.
     pub windows: SuspensionWindows,
+    /// The quiescence detector's verdict, when [`FaultDriver::run_detected`]
+    /// cut the run short. Always `None` from [`FaultDriver::run`].
+    pub deadlock: Option<DeadlockReport>,
 }
 
 impl DriveOutcome {
@@ -119,17 +123,39 @@ impl FaultDriver {
     /// Runs `w` until every thread finishes or the plan deadline passes,
     /// polling every `plan.poll` cycles to apply due injections.
     pub fn run(&mut self, w: &mut World) -> DriveOutcome {
+        self.drive(w, 0)
+    }
+
+    /// Like [`FaultDriver::run`], but with the quiescence deadlock detector
+    /// armed: if lock-protocol progress stalls for `quiesce_cycles` with no
+    /// injection still able to unwedge the run, the drive stops early —
+    /// with a [`DeadlockReport`] in the outcome when runnable waiters are
+    /// blocked, or silently for an injection-induced idle wedge (every
+    /// unfinished thread suspended forever; the liveness oracle judges
+    /// that). `quiesce_cycles` of 0 disables detection.
+    pub fn run_detected(&mut self, w: &mut World, quiesce_cycles: u64) -> DriveOutcome {
+        self.drive(w, quiesce_cycles)
+    }
+
+    fn drive(&mut self, w: &mut World, quiesce: u64) -> DriveOutcome {
         let mut out = DriveOutcome {
             exit: RunExit::TimeLimit,
             end_cycle: 0,
             applied: Vec::new(),
             windows: SuspensionWindows::default(),
+            deadlock: None,
         };
         let poll = self.plan.poll.max(1);
         let mut c = 0u64;
         // Apply cycle-0 injections (wire faults, initial pressure) before
         // the first event fires.
         self.apply_due(w, 0, &mut out);
+        // Injection activity (the applied-record count) is part of the
+        // progress stamp: an auto-resume landing in the same poll as the
+        // quiescence check must reset the clock, or the just-resumed thread
+        // gets flagged before it has run a single cycle.
+        let mut stamp = (detect::progress_stamp(w.mach_ref()), out.applied.len());
+        let mut stamp_cycle = 0u64;
         while c < self.plan.deadline {
             c = (c + poll).min(self.plan.deadline);
             out.exit = w.run_until_cycle(c);
@@ -137,9 +163,59 @@ impl FaultDriver {
                 break;
             }
             self.apply_due(w, c, &mut out);
+            if quiesce == 0 {
+                continue;
+            }
+            let now_stamp = (detect::progress_stamp(w.mach_ref()), out.applied.len());
+            if now_stamp != stamp {
+                stamp = now_stamp;
+                stamp_cycle = c;
+                continue;
+            }
+            if c - stamp_cycle < quiesce || self.injections_pending(c) {
+                continue;
+            }
+            if let Some(report) = detect::snapshot(w.mach_ref(), c) {
+                let (lock, waiters) = (report.lock, report.waiters);
+                w.mach().metrics_mut().incr("deadlocks_detected");
+                w.mach().lockstat_mut().bump(lock, "deadlock");
+                w.mach().trace(|now| TraceEvent {
+                    t: now,
+                    ep: TraceEp::Global,
+                    kind: TraceKind::Deadlock { lock, waiters },
+                });
+                out.deadlock = Some(report);
+                break;
+            }
+            if detect::all_unfinished_suspended(w.mach_ref()) {
+                // Nothing can ever run again; stop burning the deadline.
+                break;
+            }
         }
         out.end_cycle = w.mach().now().cycles();
         out
+    }
+
+    /// Whether any injection might still fire at a cycle past `c`: a
+    /// scheduled auto-resume, an unfired event whose trigger window has not
+    /// opened, or an unfired explicit resume (which could unwedge the run
+    /// whenever its condition is met).
+    fn injections_pending(&self, c: u64) -> bool {
+        !self.auto_resumes.is_empty()
+            || self
+                .plan
+                .events
+                .iter()
+                .zip(&self.fired)
+                .any(|(ev, &fired)| {
+                    !fired
+                        && (matches!(ev.inject, Inject::Resume { .. })
+                            || match ev.trigger {
+                                Trigger::AtCycle(at) => at > c,
+                                Trigger::WhenWaiting { after, .. }
+                                | Trigger::WhenHolding { after, .. } => after > c,
+                            })
+                })
     }
 
     /// Applies auto-resumes and plan events due at polling cycle `c`.

@@ -22,18 +22,41 @@
 //! * [`report`] — the backend × fault-class matrix with verdicts, rendered
 //!   as deterministic CSV and self-contained HTML.
 //!
-//! The `faultsim` harness binary drives the full matrix.
+//! On top of the injection machinery sits the **chaos engine**:
+//!
+//! * [`fuzz`] — a seeded generator of random but valid chaos cases
+//!   (workload shape + fault plan), with split RNG streams so plan
+//!   generation and workload perturbation never perturb each other;
+//! * [`detect`] — quiescence-based deadlock detection: a driven run whose
+//!   lock-protocol progress freezes with runnable waiters blocked and no
+//!   injection left to unwedge it ends in a structured [`DeadlockReport`]
+//!   (with a blocking-chain dump) instead of burning its deadline;
+//! * [`shrink`] — a delta-debugging shrinker reducing a violating plan to
+//!   a locally-minimal one (no removable event, no halvable parameter);
+//! * [`scenario`] — the self-contained replay format (backend + seed +
+//!   workload + plan + expected verdict) the `tests/corpus/` suite stores.
+//!
+//! The `faultsim` harness binary drives the full matrix; `chaossim` runs
+//! the fuzz/soak/shrink loop.
 //!
 //! [`World`]: locksim_machine::World
 
 #![warn(missing_docs)]
 
+pub mod detect;
 pub mod driver;
+pub mod fuzz;
 pub mod oracle;
 pub mod plan;
 pub mod report;
+pub mod scenario;
+pub mod shrink;
 
+pub use detect::DeadlockReport;
 pub use driver::{Applied, DriveOutcome, FaultDriver, SuspensionWindows};
+pub use fuzz::{generate, ChaosCase, ChaosWorkload, FuzzConfig};
 pub use oracle::{check_exclusion, check_fairness, check_liveness, check_world, Violation};
-pub use plan::{FaultEvent, FaultPlan, Inject, Trigger};
-pub use report::{csv, html, MatrixCell};
+pub use plan::{FaultEvent, FaultPlan, Inject, PlanError, Trigger};
+pub use report::{chaos_csv, chaos_html, csv, html, ChaosRow, MatrixCell};
+pub use scenario::ChaosScenario;
+pub use shrink::{shrink, ShrinkResult};

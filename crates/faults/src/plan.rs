@@ -18,6 +18,71 @@
 //! at 0 wire-delay every 3 extra 400
 //! ```
 
+use std::fmt;
+
+/// A structural defect in a [`FaultPlan`], caught by [`FaultPlan::validate`]
+/// at load time rather than surfacing as a silently-declined injection (or a
+/// panic) mid-run. Each variant names the offending event index (0-based,
+/// plan order) so scenario files can be fixed by line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// An event references a thread id `>= n_threads`.
+    ThreadOutOfRange {
+        /// Index of the offending event in plan order.
+        event: usize,
+        /// The out-of-range thread id.
+        thread: u32,
+        /// The workload's thread count.
+        n_threads: u32,
+    },
+    /// An event references a core id `>= n_cores`.
+    CoreOutOfRange {
+        /// Index of the offending event in plan order.
+        event: usize,
+        /// The out-of-range core id.
+        core: u32,
+        /// The machine's core count.
+        n_cores: u32,
+    },
+    /// A `resume` has no preceding `suspend` of the same thread (or, with
+    /// exact-cycle triggers, would fire before it), so it could never apply.
+    ResumeBeforeSuspend {
+        /// Index of the offending resume event in plan order.
+        event: usize,
+        /// The thread the resume targets.
+        thread: u32,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PlanError::ThreadOutOfRange {
+                event,
+                thread,
+                n_threads,
+            } => write!(
+                f,
+                "event {event}: thread {thread} out of range (workload has {n_threads} threads)"
+            ),
+            PlanError::CoreOutOfRange {
+                event,
+                core,
+                n_cores,
+            } => write!(
+                f,
+                "event {event}: core {core} out of range (machine has {n_cores} cores)"
+            ),
+            PlanError::ResumeBeforeSuspend { event, thread } => write!(
+                f,
+                "event {event}: resume of thread {thread} precedes any suspend of it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// When an injection fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trigger {
@@ -230,6 +295,138 @@ impl FaultPlan {
         self.event(Trigger::AtCycle(cycle), Inject::WireDelay { period, extra })
     }
 
+    /// Checks the plan against a concrete machine shape: every referenced
+    /// thread id must be `< n_threads`, every core id `< n_cores`, and every
+    /// `resume` must be preceded (in plan order — the order injections are
+    /// applied) by a `suspend` of the same thread; when both carry exact
+    /// cycle triggers the resume must not fire strictly earlier. The first
+    /// defect found is returned.
+    pub fn validate(&self, n_threads: u32, n_cores: u32) -> Result<(), PlanError> {
+        // Latest preceding suspend per thread: Some(cycle) for an exact
+        // trigger, None for a conditional one (cycle unknowable statically).
+        let mut suspended_at: std::collections::BTreeMap<u32, Option<u64>> =
+            std::collections::BTreeMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            let thread_ok = |thread: u32| {
+                if thread >= n_threads {
+                    Err(PlanError::ThreadOutOfRange {
+                        event: i,
+                        thread,
+                        n_threads,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            let core_ok = |core: u32| {
+                if core >= n_cores {
+                    Err(PlanError::CoreOutOfRange {
+                        event: i,
+                        core,
+                        n_cores,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            match ev.trigger {
+                Trigger::AtCycle(_) => {}
+                Trigger::WhenWaiting { thread, .. } | Trigger::WhenHolding { thread, .. } => {
+                    thread_ok(thread)?;
+                }
+            }
+            match ev.inject {
+                Inject::Suspend { thread, .. } => {
+                    thread_ok(thread)?;
+                    let at = match ev.trigger {
+                        Trigger::AtCycle(c) => Some(c),
+                        _ => None,
+                    };
+                    suspended_at.insert(thread, at);
+                }
+                Inject::Resume { thread } => {
+                    thread_ok(thread)?;
+                    let err = PlanError::ResumeBeforeSuspend { event: i, thread };
+                    match suspended_at.get(&thread) {
+                        None => return Err(err),
+                        Some(&Some(susp_cycle)) => {
+                            if let Trigger::AtCycle(c) = ev.trigger {
+                                if c < susp_cycle {
+                                    return Err(err);
+                                }
+                            }
+                        }
+                        Some(&None) => {}
+                    }
+                }
+                Inject::Migrate { thread, to_core } => {
+                    thread_ok(thread)?;
+                    core_ok(to_core)?;
+                }
+                Inject::FltEvict { core } => core_ok(core)?,
+                Inject::WireDelay { .. } | Inject::WireClear => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the plan in the line-oriented scenario format, canonically:
+    /// the four threshold directives first, then events in plan order. The
+    /// output round-trips — `FaultPlan::parse(plan.format())` reproduces the
+    /// plan exactly (for any plan with `poll >= 1`, which the builder and
+    /// parser both guarantee).
+    pub fn format(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "horizon {}", self.horizon);
+        let _ = writeln!(out, "fairness-k {}", self.fairness_k);
+        let _ = writeln!(out, "poll {}", self.poll);
+        let _ = writeln!(out, "deadline {}", self.deadline);
+        for ev in &self.events {
+            match ev.trigger {
+                Trigger::AtCycle(c) => {
+                    let _ = write!(out, "at {c}");
+                }
+                Trigger::WhenWaiting { thread, after } => {
+                    let _ = write!(out, "when-waiting {thread} after {after}");
+                }
+                Trigger::WhenHolding { thread, after } => {
+                    let _ = write!(out, "when-holding {thread} after {after}");
+                }
+            }
+            match ev.inject {
+                Inject::Suspend {
+                    thread,
+                    duration: Some(d),
+                } => {
+                    let _ = writeln!(out, " suspend {thread} for {d}");
+                }
+                Inject::Suspend {
+                    thread,
+                    duration: None,
+                } => {
+                    let _ = writeln!(out, " suspend {thread}");
+                }
+                Inject::Resume { thread } => {
+                    let _ = writeln!(out, " resume {thread}");
+                }
+                Inject::Migrate { thread, to_core } => {
+                    let _ = writeln!(out, " migrate {thread} to {to_core}");
+                }
+                Inject::FltEvict { core } => {
+                    let _ = writeln!(out, " flt-evict {core}");
+                }
+                Inject::WireDelay { period, extra } => {
+                    let _ = writeln!(out, " wire-delay every {period} extra {extra}");
+                }
+                Inject::WireClear => {
+                    let _ = writeln!(out, " wire-clear");
+                }
+            }
+        }
+        out
+    }
+
     /// Parses the line-oriented scenario format (see the module docs).
     /// Unknown directives, missing fields and malformed numbers are
     /// rejected with the offending line number.
@@ -247,7 +444,7 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    fn parse_line(mut self, line: &str) -> Result<Self, String> {
+    pub(crate) fn parse_line(mut self, line: &str) -> Result<Self, String> {
         let toks = &mut line.split_whitespace();
         let head = toks.next().expect("caller skips empty lines");
         match head {
@@ -325,7 +522,7 @@ impl FaultPlan {
 }
 
 /// Consumes the next token as a number, naming `what` on failure.
-fn num(toks: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<u64, String> {
+pub(crate) fn num(toks: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<u64, String> {
     let tok = toks.next().ok_or_else(|| format!("missing {what}"))?;
     tok.parse::<u64>()
         .map_err(|_| format!("bad {what} {tok:?} (expected a number)"))
@@ -439,5 +636,132 @@ at 50000 wire-clear
     fn poll_zero_is_clamped() {
         let p = FaultPlan::parse("poll 0").unwrap();
         assert_eq!(p.poll, 1);
+    }
+
+    #[test]
+    fn validate_accepts_in_range_plan() {
+        let p = FaultPlan::new()
+            .suspend_at(100, 3, 50)
+            .migrate_at(200, 0, 3)
+            .flt_evict_at(300, 2)
+            .wire_delay_at(0, 3, 400);
+        assert_eq!(p.validate(4, 4), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_thread() {
+        let p = FaultPlan::new().suspend_at(100, 4, 50);
+        assert_eq!(
+            p.validate(4, 4),
+            Err(PlanError::ThreadOutOfRange {
+                event: 0,
+                thread: 4,
+                n_threads: 4,
+            })
+        );
+        // Conditional triggers are checked too.
+        let p = FaultPlan::new().suspend_when_waiting(7, 0, 10);
+        assert!(matches!(
+            p.validate(4, 4),
+            Err(PlanError::ThreadOutOfRange { thread: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_core() {
+        let p = FaultPlan::new().suspend_at(0, 1, 10).migrate_at(50, 1, 9);
+        assert_eq!(
+            p.validate(4, 4),
+            Err(PlanError::CoreOutOfRange {
+                event: 1,
+                core: 9,
+                n_cores: 4,
+            })
+        );
+        let p = FaultPlan::new().flt_evict_at(0, 4);
+        assert!(matches!(
+            p.validate(4, 4),
+            Err(PlanError::CoreOutOfRange { core: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_resume_before_suspend() {
+        // No suspend at all.
+        let p = FaultPlan::new().event(Trigger::AtCycle(100), Inject::Resume { thread: 1 });
+        assert_eq!(
+            p.validate(4, 4),
+            Err(PlanError::ResumeBeforeSuspend {
+                event: 0,
+                thread: 1,
+            })
+        );
+        // Exact-cycle resume strictly before its exact-cycle suspend.
+        let p = FaultPlan::new()
+            .suspend_at(500, 1, 0)
+            .event(Trigger::AtCycle(100), Inject::Resume { thread: 1 });
+        assert!(matches!(
+            p.validate(4, 4),
+            Err(PlanError::ResumeBeforeSuspend { event: 1, .. })
+        ));
+        // Properly ordered pair is fine.
+        let p = FaultPlan::new()
+            .event(
+                Trigger::AtCycle(100),
+                Inject::Suspend {
+                    thread: 1,
+                    duration: None,
+                },
+            )
+            .event(Trigger::AtCycle(500), Inject::Resume { thread: 1 });
+        assert_eq!(p.validate(4, 4), Ok(()));
+        // Conditional suspend has no statically known cycle — any later
+        // resume of that thread passes.
+        let p = FaultPlan::new()
+            .suspend_when_waiting(1, 200, 10)
+            .event(Trigger::AtCycle(1), Inject::Resume { thread: 1 });
+        assert_eq!(p.validate(4, 4), Ok(()));
+    }
+
+    #[test]
+    fn plan_error_display_names_the_defect() {
+        let e = PlanError::ThreadOutOfRange {
+            event: 2,
+            thread: 9,
+            n_threads: 4,
+        };
+        assert!(e.to_string().contains("thread 9 out of range"));
+        let e = PlanError::ResumeBeforeSuspend {
+            event: 0,
+            thread: 3,
+        };
+        assert!(e.to_string().contains("resume of thread 3"));
+    }
+
+    #[test]
+    fn format_round_trips_every_event_kind() {
+        let p = FaultPlan::new()
+            .horizon(77_000)
+            .fairness_k(5)
+            .poll(250)
+            .deadline(900_000)
+            .suspend_at(20_000, 1, 80_000)
+            .event(
+                Trigger::AtCycle(30_000),
+                Inject::Suspend {
+                    thread: 2,
+                    duration: None,
+                },
+            )
+            .event(Trigger::AtCycle(40_000), Inject::Resume { thread: 2 })
+            .migrate_at(50_000, 0, 3)
+            .migrate_when_waiting(3, 1_000, 2)
+            .suspend_when_holding(0, 2_000, 9_000)
+            .flt_evict_at(60_000, 1)
+            .wire_delay_at(0, 7, 350)
+            .event(Trigger::AtCycle(70_000), Inject::WireClear);
+        let text = p.format();
+        let back = FaultPlan::parse(&text).expect("formatted plan parses");
+        assert_eq!(back, p);
     }
 }

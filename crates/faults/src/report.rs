@@ -1,5 +1,6 @@
-//! Pass/fail reporting for the backend × fault-class matrix: verdict
-//! computation, deterministic CSV, and a self-contained HTML artifact.
+//! Pass/fail reporting: verdict computation, deterministic CSV, and
+//! self-contained HTML artifacts — for the backend × fault-class matrix
+//! ([`MatrixCell`]) and for chaos soak sweeps ([`ChaosRow`]).
 
 use std::fmt::Write as _;
 
@@ -88,6 +89,154 @@ impl MatrixCell {
     }
 }
 
+/// One row of a chaos soak sweep: a fuzz seed, the case it generated, and
+/// the verdict its run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosRow {
+    /// The fuzz seed.
+    pub seed: u64,
+    /// Backend label the fuzzer picked for this seed.
+    pub backend: String,
+    /// Verdict: "pass", "DEADLOCK", "LIVENESS", "FAIRNESS" or "EXCLUSION".
+    pub verdict: String,
+    /// Liveness violation count.
+    pub liveness: usize,
+    /// Fairness violation count.
+    pub fairness: usize,
+    /// Exclusion violation count.
+    pub exclusion: usize,
+    /// Whether the quiescence detector fired.
+    pub deadlock: bool,
+    /// Fault events in the generated plan.
+    pub events: usize,
+    /// Fault events after shrinking (equals `events` for passing rows).
+    pub shrunk_events: usize,
+    /// Cycle the run stopped at.
+    pub end_cycle: u64,
+    /// Whether every thread ran to completion.
+    pub finished: bool,
+}
+
+impl ChaosRow {
+    /// The chaos verdict for a driven run: the most severe failure wins —
+    /// exclusion > deadlock > liveness > fairness — else "pass". A deadlock
+    /// outranks the liveness violations it inevitably also produces because
+    /// it is the stronger statement (no possible progress, not just a
+    /// too-long wait).
+    pub fn verdict_of(outcome: &DriveOutcome, violations: &[Violation]) -> &'static str {
+        let count = |o: &str| violations.iter().filter(|v| v.oracle == o).count();
+        if count("exclusion") > 0 {
+            "EXCLUSION"
+        } else if outcome.deadlock.is_some() {
+            "DEADLOCK"
+        } else if count("liveness") > 0 {
+            "LIVENESS"
+        } else if count("fairness") > 0 {
+            "FAIRNESS"
+        } else {
+            "pass"
+        }
+    }
+
+    /// Builds a row from a driven run and its oracle verdicts.
+    pub fn from_run(
+        seed: u64,
+        backend: &str,
+        outcome: &DriveOutcome,
+        violations: &[Violation],
+        finished: bool,
+        events: usize,
+    ) -> Self {
+        let count = |o: &str| violations.iter().filter(|v| v.oracle == o).count();
+        ChaosRow {
+            seed,
+            backend: backend.to_string(),
+            verdict: Self::verdict_of(outcome, violations).to_string(),
+            liveness: count("liveness"),
+            fairness: count("fairness"),
+            exclusion: count("exclusion"),
+            deadlock: outcome.deadlock.is_some(),
+            events,
+            shrunk_events: events,
+            end_cycle: outcome.end_cycle,
+            finished,
+        }
+    }
+
+    /// Whether this seed's run passed.
+    pub fn ok(&self) -> bool {
+        self.verdict == "pass"
+    }
+}
+
+/// Renders a chaos sweep as CSV; byte-deterministic for the same rows.
+pub fn chaos_csv(rows: &[ChaosRow]) -> String {
+    let mut s = String::from(
+        "seed,backend,verdict,liveness,fairness,exclusion,deadlock,events,\
+         shrunk_events,end_cycle,finished\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            r.seed,
+            r.backend,
+            r.verdict,
+            r.liveness,
+            r.fairness,
+            r.exclusion,
+            r.deadlock,
+            r.events,
+            r.shrunk_events,
+            r.end_cycle,
+            r.finished
+        );
+    }
+    s
+}
+
+/// Renders a chaos sweep as a self-contained HTML page.
+pub fn chaos_html(rows: &[ChaosRow], title: &str) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>{title}</title><style>\
+         body{{font-family:sans-serif;margin:2em;}}\
+         table{{border-collapse:collapse;}}\
+         th,td{{border:1px solid #999;padding:0.3em 0.8em;text-align:right;}}\
+         th{{background:#eee;}}td.l{{text-align:left;}}\
+         .pass{{background:#cfc;}}.fail{{background:#fcc;font-weight:bold;}}\
+         </style></head><body><h1>{title}</h1>\n<table>\n\
+         <tr><th>seed</th><th>backend</th><th>verdict</th>\
+         <th>liveness</th><th>fairness</th><th>exclusion</th><th>deadlock</th>\
+         <th>events</th><th>shrunk</th><th>end cycle</th><th>finished</th></tr>\n"
+    );
+    for r in rows {
+        let class = if r.ok() { "pass" } else { "fail" };
+        let _ = writeln!(
+            s,
+            "<tr><td>{}</td><td class=\"l\">{}</td>\
+             <td class=\"{}\">{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            r.seed,
+            r.backend,
+            class,
+            r.verdict,
+            r.liveness,
+            r.fairness,
+            r.exclusion,
+            r.deadlock,
+            r.events,
+            r.shrunk_events,
+            r.end_cycle,
+            r.finished
+        );
+    }
+    s.push_str("</table>\n</body></html>\n");
+    s
+}
+
 /// Renders the matrix as CSV. Output is a pure function of the cells, so
 /// two same-seed runs produce byte-identical files.
 pub fn csv(cells: &[MatrixCell]) -> String {
@@ -170,6 +319,7 @@ mod tests {
             end_cycle,
             applied: Vec::new(),
             windows: SuspensionWindows::default(),
+            deadlock: None,
         }
     }
 
@@ -229,6 +379,51 @@ mod tests {
         assert!(a.contains("lcu,suspend,pass,0,0,0,0,500,true\n"));
         assert!(a.contains("mcs,suspend,LIVENESS,1,0,0,0,900,false\n"));
         assert!(a.contains("mcs,flt-evict,n/a,"));
+    }
+
+    #[test]
+    fn chaos_verdict_ranks_deadlock_between_exclusion_and_liveness() {
+        let mut dead = outcome(100);
+        dead.deadlock = Some(crate::detect::DeadlockReport {
+            at: 100,
+            lock: 0x40,
+            waiters: 1,
+            chain: "lock 0x40: waiters t1(W); held by t0 (suspended)".to_string(),
+        });
+        let live = [violation("liveness")];
+        let excl = [violation("exclusion"), violation("liveness")];
+        assert_eq!(ChaosRow::verdict_of(&dead, &live), "DEADLOCK");
+        assert_eq!(ChaosRow::verdict_of(&dead, &excl), "EXCLUSION");
+        assert_eq!(ChaosRow::verdict_of(&outcome(100), &live), "LIVENESS");
+        assert_eq!(
+            ChaosRow::verdict_of(&outcome(100), &[violation("fairness")]),
+            "FAIRNESS"
+        );
+        assert_eq!(ChaosRow::verdict_of(&outcome(100), &[]), "pass");
+    }
+
+    #[test]
+    fn chaos_csv_is_deterministic_and_greppable() {
+        let mut dead = outcome(7_000);
+        dead.deadlock = Some(crate::detect::DeadlockReport {
+            at: 7_000,
+            lock: 0x40,
+            waiters: 2,
+            chain: String::new(),
+        });
+        let mut rows = vec![
+            ChaosRow::from_run(3, "lcu", &outcome(500), &[], true, 4),
+            ChaosRow::from_run(4, "mcs", &dead, &[violation("liveness")], false, 5),
+        ];
+        rows[1].shrunk_events = 1;
+        let a = chaos_csv(&rows);
+        assert_eq!(a, chaos_csv(&rows));
+        assert!(a.starts_with("seed,backend,verdict,"));
+        assert!(a.contains("3,lcu,pass,0,0,0,false,4,4,500,true\n"));
+        assert!(a.contains("4,mcs,DEADLOCK,1,0,0,true,5,1,7000,false\n"));
+        let page = chaos_html(&rows, "chaossim");
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("<td class=\"fail\">DEADLOCK</td>"));
     }
 
     #[test]

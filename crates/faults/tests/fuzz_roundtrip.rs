@@ -1,0 +1,127 @@
+//! Property test: the plan/scenario text formats round-trip —
+//! `parse(format(x)) == x` — under the chaos fuzzer's own generator, plus
+//! explicit boundary cases the generator is unlikely to hit.
+
+use locksim_faults::fuzz::{generate, FuzzConfig};
+use locksim_faults::{ChaosScenario, FaultPlan, Inject, Trigger};
+
+#[test]
+fn plan_format_round_trips_under_the_fuzzers_generator() {
+    let cfg = FuzzConfig::default();
+    for seed in 0..256 {
+        let case = generate(seed, &cfg);
+        let text = case.plan.format();
+        let back = FaultPlan::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: formatted plan fails to parse: {e}\n{text}"));
+        assert_eq!(back, case.plan, "seed {seed} round-trip mismatch:\n{text}");
+    }
+}
+
+#[test]
+fn scenario_format_round_trips_under_the_fuzzers_generator() {
+    let cfg = FuzzConfig::default();
+    for seed in 0..256 {
+        let mut sc = ChaosScenario::from_case(&generate(seed, &cfg));
+        // Exercise every expect value the soak runner can emit.
+        sc.expect = ["none", "liveness", "fairness", "exclusion", "deadlock"][seed as usize % 5]
+            .to_string();
+        let text = sc.format();
+        let back = ChaosScenario::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: formatted scenario fails parse: {e}"));
+        assert_eq!(back, sc, "seed {seed} round-trip mismatch:\n{text}");
+    }
+}
+
+#[test]
+fn boundary_cycles_and_every_event_kind_round_trip() {
+    // Cycle 0, u64::MAX triggers/durations/thresholds, indefinite suspend,
+    // and one of every injection kind — beyond what the fuzzer generates.
+    let plan = FaultPlan::new()
+        .horizon(0)
+        .fairness_k(u64::MAX)
+        .poll(1)
+        .deadline(u64::MAX)
+        .event(
+            Trigger::AtCycle(0),
+            Inject::Suspend {
+                thread: 0,
+                duration: Some(0),
+            },
+        )
+        .event(
+            Trigger::AtCycle(u64::MAX),
+            Inject::Suspend {
+                thread: u32::MAX,
+                duration: Some(u64::MAX),
+            },
+        )
+        .event(
+            Trigger::WhenWaiting {
+                thread: 0,
+                after: 0,
+            },
+            Inject::Suspend {
+                thread: 0,
+                duration: None,
+            },
+        )
+        .event(
+            Trigger::WhenHolding {
+                thread: u32::MAX,
+                after: u64::MAX,
+            },
+            Inject::Resume { thread: u32::MAX },
+        )
+        .event(
+            Trigger::AtCycle(1),
+            Inject::Migrate {
+                thread: 0,
+                to_core: u32::MAX,
+            },
+        )
+        .event(Trigger::AtCycle(2), Inject::FltEvict { core: 0 })
+        .event(
+            Trigger::AtCycle(3),
+            Inject::WireDelay {
+                period: 1,
+                extra: 0,
+            },
+        )
+        .event(
+            Trigger::AtCycle(4),
+            Inject::WireDelay {
+                period: u64::MAX,
+                extra: u64::MAX,
+            },
+        )
+        .event(Trigger::AtCycle(5), Inject::WireClear);
+    let text = plan.format();
+    let back = FaultPlan::parse(&text).expect("boundary plan parses");
+    assert_eq!(back, plan, "boundary round-trip mismatch:\n{text}");
+}
+
+#[test]
+fn generated_plans_stay_within_generator_invariants() {
+    // The documented generator invariants, re-checked from the outside:
+    // ids in range, wire-delay period >= 1, exact triggers before the
+    // deadline, and validate() passing for the case's own shape.
+    let cfg = FuzzConfig::default();
+    for seed in 0..256 {
+        let case = generate(seed, &cfg);
+        assert!(case
+            .plan
+            .validate(case.workload.threads, cfg.n_cores)
+            .is_ok());
+        for ev in &case.plan.events {
+            if let Trigger::AtCycle(at) = ev.trigger {
+                assert!(
+                    at < case.plan.deadline,
+                    "seed {seed}: trigger past deadline"
+                );
+            }
+            if let Inject::WireDelay { period, .. } = ev.inject {
+                assert!(period >= 1, "seed {seed}: zero wire period");
+            }
+        }
+    }
+}

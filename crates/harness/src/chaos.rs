@@ -1,0 +1,457 @@
+//! The `chaossim` bin's engine: fuzz → soak → detect → shrink → corpus.
+//!
+//! Each seed maps deterministically to a [`ChaosCase`] — a backend, a
+//! workload shape, and a fuzzed [`FaultPlan`] — via the split-stream
+//! generator in `locksim-faults`. The soak runner executes each case with
+//! the quiescence deadlock detector armed, so a plan that wedges the run
+//! (suspend a holder forever) ends in a structured `DEADLOCK` verdict with
+//! a blocking-chain dump instead of burning its deadline or hanging the
+//! process. Violating cases are then delta-debug shrunk to a locally
+//! minimal plan and emitted as replayable [`ChaosScenario`] text — the
+//! format the `tests/corpus/` suite replays in tier-1.
+//!
+//! Budgets are **simulated-cycle** budgets, not wall-clock: the sweep
+//! stops once the cumulative simulated cycles (soak runs plus shrink
+//! re-runs) cross the cap, which keeps two same-flag invocations
+//! byte-identical — wall-clock safety in CI comes from an outer `timeout`.
+
+use std::path::{Path, PathBuf};
+
+use locksim_faults::{
+    chaos_csv, chaos_html, check_world, generate, shrink, ChaosRow, ChaosScenario, ChaosWorkload,
+    DriveOutcome, FaultDriver, FaultPlan, FuzzConfig, Violation,
+};
+use locksim_machine::{MachineConfig, RunExit, World};
+use locksim_swlocks::SwAlg;
+use locksim_workloads::{CsThread, IterPool};
+
+use crate::run::{scaled, BackendKind};
+use crate::table::Table;
+use crate::{emit, finish_bin, obs};
+
+/// Trace-ring capacity: the oracles replay the ring, so it must keep every
+/// lock event of a run.
+const TRACE_CAP: usize = 1 << 20;
+
+/// Default quiescence window for the deadlock detector, in cycles: long
+/// enough that a congested-but-live run always produces a grant inside it,
+/// short enough that a wedged run is cut off well before its deadline.
+pub const DEFAULT_QUIESCE: u64 = 50_000;
+
+/// Chaos worlds always run the 4-core model-A machine.
+const N_CORES: u32 = 4;
+
+/// Resolves a harness backend label ("lcu", "lcu+flt", "ssb", "mcs",
+/// "mrsw", "ideal") to its [`BackendKind`].
+pub fn backend_by_label(label: &str) -> Option<BackendKind> {
+    Some(match label {
+        "lcu" => BackendKind::Lcu,
+        "lcu+flt" => BackendKind::LcuFlt,
+        "ssb" => BackendKind::Ssb,
+        "mcs" => BackendKind::Sw(SwAlg::Mcs),
+        "mrsw" => BackendKind::Sw(SwAlg::Mrsw),
+        "ideal" => BackendKind::Ideal,
+        _ => return None,
+    })
+}
+
+/// Maps a chaos verdict to the corpus `expect` directive value.
+pub fn expect_label(verdict: &str) -> String {
+    if verdict == "pass" {
+        "none".to_string()
+    } else {
+        verdict.to_ascii_lowercase()
+    }
+}
+
+/// One executed chaos run, with everything the reporters need.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The driver outcome (deadlock report included when detected).
+    pub outcome: DriveOutcome,
+    /// Post-hoc oracle violations.
+    pub violations: Vec<Violation>,
+    /// Whether every thread ran to completion.
+    pub finished: bool,
+    /// The chaos verdict ("pass", "DEADLOCK", "LIVENESS", ...).
+    pub verdict: String,
+}
+
+/// Runs one chaos case: builds the world for `backend`/`workload`/`seed`,
+/// drives `plan` with the quiescence detector armed, and judges the result.
+/// Fails (without running) on an unknown backend label or a plan that does
+/// not validate against the workload/machine shape.
+pub fn run_chaos(
+    backend_label: &str,
+    workload: &ChaosWorkload,
+    seed: u64,
+    plan: &FaultPlan,
+    quiesce: u64,
+) -> Result<ChaosRun, String> {
+    let backend = backend_by_label(backend_label)
+        .ok_or_else(|| format!("unknown backend label {backend_label:?}"))?;
+    plan.validate(workload.threads, N_CORES)
+        .map_err(|e| format!("invalid plan: {e}"))?;
+    let mut mach_cfg = MachineConfig::model_a(N_CORES as usize);
+    if backend == BackendKind::LcuFlt {
+        mach_cfg.flt_entries = 4;
+    }
+    if workload.lrt_pressure {
+        // Same squeeze as faultsim's lrt-pressure class: one direct-mapped
+        // pair of entries, so extra lock lines overflow and retry.
+        mach_cfg.lrt_entries = 2;
+        mach_cfg.lrt_assoc = 2;
+    }
+    let mut w = World::new(mach_cfg, backend.build(), seed);
+    obs::arm(&mut w);
+    if !w.mach_ref().tracer().is_enabled() {
+        w.enable_trace(TRACE_CAP);
+    }
+    let lock = w.mach().alloc().alloc_line();
+    let data = w.mach().alloc().alloc_line();
+    let pool = IterPool::new(u64::from(workload.iters));
+    for _ in 0..workload.threads {
+        w.spawn(Box::new(
+            CsThread::new(lock, data, pool.clone(), workload.write_pct)
+                .with_cs_compute(workload.cs_compute),
+        ));
+    }
+    let out = FaultDriver::new(plan.clone()).run_detected(&mut w, quiesce);
+    let finished = out.exit == RunExit::AllFinished;
+    let violations = check_world(&mut w, plan, &out.windows, out.end_cycle);
+    obs::observe(&format!("chaos/{backend_label}/s{seed}"), &w);
+    let verdict = ChaosRow::verdict_of(&out, &violations).to_string();
+    Ok(ChaosRun {
+        outcome: out,
+        violations,
+        finished,
+        verdict,
+    })
+}
+
+/// Replays a scenario file's run exactly.
+pub fn replay(sc: &ChaosScenario, quiesce: u64) -> Result<ChaosRun, String> {
+    run_chaos(&sc.backend, &sc.workload, sc.seed, &sc.plan, quiesce)
+}
+
+/// Parameters of one soak sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosCfg {
+    /// First fuzz seed.
+    pub seed_start: u64,
+    /// Number of consecutive seeds to sweep.
+    pub seeds: u64,
+    /// Quiescence window for the deadlock detector.
+    pub quiesce: u64,
+    /// Maximum candidate re-runs per shrink.
+    pub shrink_budget: u64,
+    /// Simulated-cycle cap on the whole sweep (soak + shrink re-runs).
+    pub cycle_budget: u64,
+    /// Generator bounds.
+    pub fuzz: FuzzConfig,
+}
+
+impl ChaosCfg {
+    /// The default configuration (scaled down under `LOCKSIM_QUICK`).
+    pub fn default_scaled() -> Self {
+        ChaosCfg {
+            seed_start: 0,
+            seeds: scaled(48, 12),
+            quiesce: DEFAULT_QUIESCE,
+            shrink_budget: scaled(160, 60),
+            cycle_budget: scaled(600_000_000, 120_000_000),
+            fuzz: FuzzConfig::default(),
+        }
+    }
+}
+
+/// What a soak sweep produced.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// One row per executed seed, in seed order.
+    pub rows: Vec<ChaosRow>,
+    /// Shrunk replayable scenarios, one per violating seed.
+    pub shrunk: Vec<ChaosScenario>,
+    /// Simulated cycles spent (soak runs plus shrink re-runs).
+    pub cycles: u64,
+    /// Seeds actually executed (may stop short on the cycle budget).
+    pub seeds_run: u64,
+}
+
+/// Sweeps `cfg.seeds` consecutive fuzz seeds: run each generated case with
+/// detection armed, shrink every violating plan to a locally-minimal one,
+/// and collect verdict rows plus replayable shrunk scenarios.
+pub fn soak(cfg: &ChaosCfg) -> SoakReport {
+    let mut report = SoakReport {
+        rows: Vec::new(),
+        shrunk: Vec::new(),
+        cycles: 0,
+        seeds_run: 0,
+    };
+    for seed in cfg.seed_start..cfg.seed_start.saturating_add(cfg.seeds) {
+        if report.cycles >= cfg.cycle_budget {
+            break;
+        }
+        let case = generate(seed, &cfg.fuzz);
+        let run = run_chaos(case.backend, &case.workload, seed, &case.plan, cfg.quiesce)
+            .unwrap_or_else(|e| panic!("fuzz seed {seed} generated an unrunnable case: {e}"));
+        report.seeds_run += 1;
+        report.cycles += run.outcome.end_cycle;
+        let mut row = ChaosRow::from_run(
+            seed,
+            case.backend,
+            &run.outcome,
+            &run.violations,
+            run.finished,
+            case.plan.events.len(),
+        );
+        if !row.ok() {
+            let target = row.verdict.clone();
+            let workload = case.workload;
+            let mut shrink_cycles = 0u64;
+            let res = shrink(
+                &case.plan,
+                |p| match run_chaos(case.backend, &workload, seed, p, cfg.quiesce) {
+                    Ok(r) => {
+                        shrink_cycles += r.outcome.end_cycle;
+                        r.verdict == target
+                    }
+                    // A removal that orphaned a resume etc. — not a repro.
+                    Err(_) => false,
+                },
+                cfg.shrink_budget,
+            );
+            report.cycles += shrink_cycles;
+            row.shrunk_events = res.plan.events.len();
+            let mut sc = ChaosScenario::from_case(&case);
+            sc.plan = res.plan;
+            sc.expect = expect_label(&target);
+            report.shrunk.push(sc);
+        }
+        report.rows.push(row);
+    }
+    report
+}
+
+/// Writes each shrunk scenario as a corpus entry under `dir`, named
+/// `s<seed>_<backend>_<expect>.txt`, and returns the paths written.
+pub fn write_corpus(dir: &Path, scenarios: &[ChaosScenario]) -> Vec<PathBuf> {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("create corpus dir {}: {e}", dir.display()));
+    let mut paths = Vec::new();
+    for sc in scenarios {
+        let name = format!(
+            "s{:05}_{}_{}.txt",
+            sc.seed,
+            sc.backend.replace('+', ""),
+            sc.expect
+        );
+        let path = dir.join(name);
+        let body = format!(
+            "# chaossim shrunk violation — replayed by the tests/corpus suite.\n\
+             # Regenerate: cargo run --release --bin chaossim -- --seed-start {} --seeds 1\n{}",
+            sc.seed,
+            sc.format()
+        );
+        std::fs::write(&path, body)
+            .unwrap_or_else(|e| panic!("write corpus entry {}: {e}", path.display()));
+        paths.push(path);
+    }
+    paths
+}
+
+/// Renders the sweep as the bin's stdout table.
+pub fn verdict_table(cfg: &ChaosCfg, report: &SoakReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Chaos soak — seeds {}..{} ({} run), quiesce {} cycles, {} cycles spent",
+            cfg.seed_start,
+            cfg.seed_start + cfg.seeds,
+            report.seeds_run,
+            cfg.quiesce,
+            report.cycles
+        ),
+        &[
+            "seed",
+            "backend",
+            "verdict",
+            "liveness",
+            "fairness",
+            "exclusion",
+            "deadlock",
+            "events",
+            "shrunk",
+            "end cycle",
+            "finished",
+        ],
+    );
+    for r in &report.rows {
+        t.push(vec![
+            r.seed.to_string(),
+            r.backend.clone(),
+            r.verdict.clone(),
+            r.liveness.to_string(),
+            r.fairness.to_string(),
+            r.exclusion.to_string(),
+            r.deadlock.to_string(),
+            r.events.to_string(),
+            r.shrunk_events.to_string(),
+            r.end_cycle.to_string(),
+            r.finished.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Entry point of the `chaossim` bin (shared by the root-package shim).
+pub fn cli_main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = [
+        obs::BinFlag {
+            name: "--quick",
+            takes_value: false,
+        },
+        obs::BinFlag {
+            name: "--seed-start",
+            takes_value: true,
+        },
+        obs::BinFlag {
+            name: "--seeds",
+            takes_value: true,
+        },
+        obs::BinFlag {
+            name: "--quiesce",
+            takes_value: true,
+        },
+        obs::BinFlag {
+            name: "--shrink-budget",
+            takes_value: true,
+        },
+        obs::BinFlag {
+            name: "--cycle-budget",
+            takes_value: true,
+        },
+        obs::BinFlag {
+            name: "--corpus-out",
+            takes_value: true,
+        },
+        obs::BinFlag {
+            name: "--csv",
+            takes_value: true,
+        },
+        obs::BinFlag {
+            name: "--html",
+            takes_value: true,
+        },
+    ];
+    let (opts, extras) = match obs::parse_bin_cli(&args, &flags) {
+        Ok(parsed) => parsed,
+        Err(msg) => usage_exit(&msg),
+    };
+    obs::apply_opts(&opts);
+    if extras.contains_key("--quick") {
+        std::env::set_var("LOCKSIM_QUICK", "1");
+    }
+    let mut cfg = ChaosCfg::default_scaled();
+    let num = |flag: &str, slot: &mut u64| {
+        if let Some(v) = extras.get(flag) {
+            *slot = v
+                .parse()
+                .unwrap_or_else(|_| usage_exit(&format!("{flag}: invalid number {v:?}")));
+        }
+    };
+    num("--seed-start", &mut cfg.seed_start);
+    num("--seeds", &mut cfg.seeds);
+    num("--quiesce", &mut cfg.quiesce);
+    num("--shrink-budget", &mut cfg.shrink_budget);
+    num("--cycle-budget", &mut cfg.cycle_budget);
+    let csv_path = extras
+        .get("--csv")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/chaossim.csv"));
+    let html_path = extras
+        .get("--html")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/chaossim.html"));
+
+    let report = soak(&cfg);
+    emit("chaossim_verdicts", &[verdict_table(&cfg, &report)]);
+
+    write_artifact(&csv_path, &chaos_csv(&report.rows));
+    write_artifact(
+        &html_path,
+        &chaos_html(&report.rows, "chaossim — chaos soak sweep"),
+    );
+    eprintln!(
+        "chaossim: wrote {} and {}",
+        csv_path.display(),
+        html_path.display()
+    );
+    if let Some(dir) = extras.get("--corpus-out") {
+        let paths = write_corpus(Path::new(dir), &report.shrunk);
+        eprintln!("chaossim: wrote {} corpus entries to {dir}", paths.len());
+    }
+
+    let violating = report.rows.iter().filter(|r| !r.ok()).count();
+    let deadlocks = report.rows.iter().filter(|r| r.deadlock).count();
+    println!(
+        "chaossim verdict: {} seeds run, {} violating ({} deadlock), {} simulated cycles",
+        report.seeds_run, violating, deadlocks, report.cycles
+    );
+    finish_bin("chaossim");
+}
+
+fn write_artifact(path: &Path, content: &str) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create artifact dir");
+    }
+    std::fs::write(path, content)
+        .unwrap_or_else(|e| panic!("write artifact {}: {e}", path.display()));
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: chaossim [--quick] [--seed-start <n>] [--seeds <n>] \
+         [--quiesce <cycles>] [--shrink-budget <runs>] [--cycle-budget <cycles>] \
+         [--corpus-out <dir>] [--csv <path>] [--html <path>] [--trace <path>] \
+         [--trace-cap <records>] [--lockstat <path>] [--watchdog-cycles <n>]"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for label in ["lcu", "lcu+flt", "ssb", "mcs", "mrsw", "ideal"] {
+            let kind = backend_by_label(label).expect(label);
+            assert_eq!(kind.label(), label);
+        }
+        assert!(backend_by_label("spinlock").is_none());
+    }
+
+    #[test]
+    fn expect_label_maps_verdicts() {
+        assert_eq!(expect_label("pass"), "none");
+        assert_eq!(expect_label("DEADLOCK"), "deadlock");
+        assert_eq!(expect_label("LIVENESS"), "liveness");
+    }
+
+    #[test]
+    fn run_chaos_rejects_invalid_plans_without_running() {
+        let wl = ChaosWorkload {
+            threads: 2,
+            iters: 10,
+            cs_compute: 0,
+            write_pct: 100,
+            lrt_pressure: false,
+        };
+        let plan = FaultPlan::new().suspend_at(100, 7, 50);
+        let err = run_chaos("lcu", &wl, 1, &plan, 0).unwrap_err();
+        assert!(err.contains("thread 7 out of range"), "{err}");
+        let err = run_chaos("nope", &wl, 1, &plan, 0).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+    }
+}

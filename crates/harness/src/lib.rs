@@ -15,6 +15,7 @@
 //! Perfetto / `chrome://tracing`, and appends a metrics-registry section
 //! to the markdown output and `results/` CSVs.
 
+pub mod chaos;
 pub mod faultsim;
 pub mod figs;
 pub mod lockstat;

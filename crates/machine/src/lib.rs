@@ -34,7 +34,7 @@ pub use ideal::IdealBackend;
 pub use lock::{BackendFault, LockBackend, Mode};
 pub use locksim_coherence::LineAddr;
 pub use prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
-pub use world::{CycleDissection, Ep, Mach, MemKind, RunExit, ThreadStats, World};
+pub use world::{CycleDissection, Ep, Mach, MemKind, PendingWaiter, RunExit, ThreadStats, World};
 
 // Observability types, re-exported so downstream crates (backends, harness)
 // can emit and consume traces/metrics without depending on `locksim-trace`

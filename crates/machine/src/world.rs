@@ -237,6 +237,21 @@ impl std::fmt::Debug for ThreadState {
     }
 }
 
+/// One thread blocked on a lock acquire — the quiescence probe's view of
+/// the waiting graph, consumed by the chaos deadlock detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingWaiter {
+    /// The blocked thread.
+    pub thread: ThreadId,
+    /// The lock it is queued on.
+    pub lock: Addr,
+    /// True for a write-mode acquire.
+    pub write: bool,
+    /// True when the waiter is suspended by fault injection (exempt from
+    /// deadlock verdicts: it cannot take a grant by design).
+    pub suspended: bool,
+}
+
 /// A backend-visible network endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Ep {
@@ -354,6 +369,49 @@ impl Mach {
     /// The lock and mode of thread `t`'s outstanding acquire, if any.
     pub fn waiting_on(&self, t: ThreadId) -> Option<(Addr, Mode)> {
         self.threads[t.0 as usize].waiting_on
+    }
+
+    /// Whether thread `t` has run to completion.
+    pub fn is_finished(&self, t: ThreadId) -> bool {
+        self.threads[t.0 as usize].finished_at.is_some()
+    }
+
+    /// Total simulation events dispatched so far — the raw progress probe.
+    /// Note that background noise (scheduler quantum ticks, backoff timers)
+    /// keeps this moving even in a wedged run; the chaos detector combines
+    /// it with lock-protocol progress counters.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Every unfinished thread with an acquire outstanding, in thread order
+    /// — the quiescence hook the chaos deadlock detector snapshots when
+    /// progress stops.
+    pub fn pending_waiters(&self) -> Vec<PendingWaiter> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| th.finished_at.is_none())
+            .filter_map(|(i, th)| {
+                th.waiting_on.map(|(lock, mode)| PendingWaiter {
+                    thread: ThreadId(i as u32),
+                    lock,
+                    write: mode == Mode::Write,
+                    suspended: th.suspended,
+                })
+            })
+            .collect()
+    }
+
+    /// Threads currently holding `lock`, in thread order — the other half
+    /// of the waiting graph for blocking-chain dumps.
+    pub fn holders_of(&self, lock: Addr) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| th.holding.iter().any(|&(a, _)| a == lock))
+            .map(|(i, _)| ThreadId(i as u32))
+            .collect()
     }
 
     /// Number of locks thread `t` currently holds.

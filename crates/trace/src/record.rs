@@ -142,6 +142,15 @@ pub enum TraceKind {
         /// Fault-specific argument (destination core, delay cycles, …).
         arg: u64,
     },
+    /// The chaos quiescence detector declared the run deadlocked: pending
+    /// runnable waiters with no lock-protocol progress and no injection
+    /// still able to unwedge them.
+    Deadlock {
+        /// Lock line the first runnable blocked waiter is queued on.
+        lock: u64,
+        /// Runnable waiters pending when progress stopped.
+        waiters: u32,
+    },
     /// A liveness/fairness/exclusion oracle detected a violation.
     OracleViolation {
         /// The violated oracle ("liveness", "fairness", "exclusion").
@@ -182,6 +191,7 @@ impl TraceKind {
             TraceKind::SchedMigrate { .. } => "sched_migrate",
             TraceKind::Starve { .. } => "starve",
             TraceKind::FaultInject { .. } => "fault_inject",
+            TraceKind::Deadlock { .. } => "deadlock",
             TraceKind::OracleViolation { .. } => "oracle_violation",
             TraceKind::TimerFire { .. } => "timer_fire",
             TraceKind::Mark { .. } => "mark",
@@ -198,6 +208,7 @@ impl TraceKind {
             | TraceKind::LockFail { lock, .. }
             | TraceKind::EntryState { lock, .. }
             | TraceKind::Starve { lock, .. }
+            | TraceKind::Deadlock { lock, .. }
             | TraceKind::OracleViolation { lock, .. } => Some(lock),
             _ => None,
         }

@@ -316,6 +316,9 @@ fn args_json(kind: &TraceKind) -> String {
                 json_str(fault)
             )
         }
+        TraceKind::Deadlock { lock, waiters } => {
+            format!("\"lock\":{lock},\"waiters\":{waiters}")
+        }
         TraceKind::OracleViolation {
             oracle,
             lock,
@@ -399,6 +402,9 @@ fn render_line(e: &TraceEvent) -> String {
         }
         TraceKind::FaultInject { fault, thread, arg } => {
             let _ = write!(line, "{fault} t{thread} arg={arg}");
+        }
+        TraceKind::Deadlock { lock, waiters } => {
+            let _ = write!(line, "lock {lock:#x} {waiters} waiters wedged");
         }
         TraceKind::OracleViolation {
             oracle,

@@ -1,0 +1,7 @@
+//! Root-package shim so `cargo run --release --bin chaossim` works from
+//! the workspace root without `-p locksim-harness`. See
+//! `crates/harness/src/bin/chaossim.rs` for the harness-local twin.
+
+fn main() {
+    locksim::harness::chaos::cli_main();
+}
