@@ -130,6 +130,7 @@ impl CacheCtrl {
     /// Panics on protocol violations (e.g. data arriving with no pending
     /// request), which indicate a simulator bug.
     pub fn handle(&mut self, line: LineAddr, msg: DirToCache) -> Vec<CacheAction> {
+        let _prof = locksim_trace::prof::span("coherence/cache_handle");
         let entry = self.lines.entry(line).or_default();
         match msg {
             DirToCache::DataS { exclusive } => {

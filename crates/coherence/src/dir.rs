@@ -105,6 +105,7 @@ impl DirCtrl {
     /// Panics on protocol violations (acks outside a transaction, requests
     /// from the current owner, ...) — these indicate simulator bugs.
     pub fn handle(&mut self, line: LineAddr, from: CacheId, msg: CacheToDir) -> Vec<DirAction> {
+        let _prof = locksim_trace::prof::span("coherence/dir_handle");
         match msg {
             CacheToDir::Req(kind) => {
                 let entry = self.lines.entry(line).or_default();

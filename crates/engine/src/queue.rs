@@ -63,6 +63,7 @@ pub struct Simulator<E> {
     seq: EventSeq,
     heap: BinaryHeap<Reverse<Entry<E>>>,
     popped: u64,
+    peak_pending: usize,
 }
 
 impl<E> Default for Simulator<E> {
@@ -79,6 +80,7 @@ impl<E> Simulator<E> {
             seq: 0,
             heap: BinaryHeap::new(),
             popped: 0,
+            peak_pending: 0,
         }
     }
 
@@ -99,6 +101,19 @@ impl<E> Simulator<E> {
     #[inline]
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Highest number of simultaneously pending events seen so far — the
+    /// queue-occupancy waterline `benchsim` reports per scenario.
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Total events ever scheduled (the next sequence number).
+    #[inline]
+    pub fn events_scheduled(&self) -> u64 {
+        self.seq
     }
 
     /// Returns `true` if no events are pending.
@@ -130,6 +145,7 @@ impl<E> Simulator<E> {
             seq,
             event,
         }));
+        self.peak_pending = self.peak_pending.max(self.heap.len());
         seq
     }
 
@@ -229,6 +245,24 @@ mod tests {
         sim.pop();
         assert_eq!(sim.events_processed(), 1);
         assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.events_scheduled(), 2);
+    }
+
+    #[test]
+    fn peak_pending_is_a_high_water_mark() {
+        let mut sim = Simulator::new();
+        assert_eq!(sim.peak_pending(), 0);
+        sim.schedule_in(1, ());
+        sim.schedule_in(2, ());
+        sim.schedule_in(3, ());
+        assert_eq!(sim.peak_pending(), 3);
+        sim.pop();
+        sim.pop();
+        // Draining never lowers the waterline.
+        assert_eq!(sim.peak_pending(), 3);
+        sim.schedule_in(4, ());
+        assert_eq!(sim.pending(), 2);
+        assert_eq!(sim.peak_pending(), 3);
     }
 
     #[test]

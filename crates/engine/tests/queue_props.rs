@@ -1,0 +1,166 @@
+//! Property tests for the deterministic event queue — the safety net any
+//! future queue swap (e.g. a timing wheel, ROADMAP item 2) must pass.
+//!
+//! The contract under test: pops are nondecreasing in time, same-cycle
+//! events fire in scheduling order (FIFO), every scheduled event is popped
+//! exactly once, and `advance_to` moves the clock without disturbing any
+//! of that.
+
+use proptest::prelude::*;
+
+use locksim_engine::{Simulator, Time};
+
+/// Schedules `delays` up front (payload = scheduling index) and drains.
+fn run_schedule(delays: &[u64]) -> Vec<(u64, usize)> {
+    let mut sim = Simulator::new();
+    for (i, &d) in delays.iter().enumerate() {
+        sim.schedule_in(d, i);
+    }
+    let mut popped = Vec::new();
+    while let Some((t, i)) = sim.pop() {
+        popped.push((t.cycles(), i));
+    }
+    popped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same-cycle events pop in scheduling order; across cycles, time wins.
+    /// Equivalently: the pop order is exactly a stable sort of the schedule
+    /// order by fire time.
+    #[test]
+    fn pop_order_is_stable_sort_by_time(
+        delays in proptest::collection::vec(0u64..16, 1..64),
+    ) {
+        let popped = run_schedule(&delays);
+        prop_assert_eq!(popped.len(), delays.len());
+
+        let mut expected: Vec<(u64, usize)> = delays
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i))
+            .collect();
+        expected.sort_by_key(|&(t, _)| t); // sort_by_key is stable
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// FIFO stability in the purest form: everything lands on one cycle,
+    /// so the pop order must be precisely the scheduling order.
+    #[test]
+    fn same_cycle_batch_is_fifo(
+        n in 1usize..128,
+        delay in 0u64..1000,
+    ) {
+        let popped = run_schedule(&vec![delay; n]);
+        let indices: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        prop_assert_eq!(indices, (0..n).collect::<Vec<_>>());
+        prop_assert!(popped.iter().all(|&(t, _)| t == delay));
+    }
+
+    /// Interleaving pops with new (future) schedules keeps times
+    /// nondecreasing, delivers every event exactly once, and the
+    /// scheduled/processed/pending accounting balances throughout.
+    #[test]
+    fn interleaved_pops_preserve_order_and_accounting(
+        seed_delays in proptest::collection::vec(0u64..32, 1..16),
+        respawn in proptest::collection::vec((0u64..32, any::<bool>()), 0..64),
+    ) {
+        let mut sim = Simulator::new();
+        let mut next_id = 0usize;
+        for &d in &seed_delays {
+            sim.schedule_in(d, next_id);
+            next_id += 1;
+        }
+        let mut respawn = respawn.into_iter();
+        let mut last_t = 0u64;
+        let mut seen = Vec::new();
+        while let Some((t, id)) = sim.pop() {
+            prop_assert!(t.cycles() >= last_t, "time went backwards");
+            last_t = t.cycles();
+            seen.push(id);
+            // Consistency between the three counters at every step.
+            prop_assert_eq!(
+                sim.events_scheduled(),
+                sim.events_processed() + sim.pending() as u64
+            );
+            if let Some((d, twice)) = respawn.next() {
+                sim.schedule_in(d, next_id);
+                next_id += 1;
+                if twice {
+                    sim.schedule_in(d, next_id);
+                    next_id += 1;
+                }
+            }
+        }
+        // Exactly-once delivery of every id.
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..next_id).collect::<Vec<_>>());
+        prop_assert_eq!(sim.events_processed(), next_id as u64);
+        prop_assert!(sim.peak_pending() as u64 <= sim.events_scheduled());
+    }
+
+    /// Drain-after-advance: advancing the clock past the drained prefix
+    /// never reorders or loses the remaining events, and relative
+    /// scheduling is anchored at the advanced clock.
+    #[test]
+    fn drain_then_advance_keeps_invariants(
+        early in proptest::collection::vec(0u64..50, 1..16),
+        late_gap in 1u64..100,
+        late in proptest::collection::vec(0u64..50, 1..16),
+    ) {
+        let mut sim = Simulator::new();
+        for (i, &d) in early.iter().enumerate() {
+            sim.schedule_in(d, i);
+        }
+        // Drain everything, then advance into the gap beyond the last pop.
+        while sim.pop().is_some() {}
+        let drained_at = sim.now();
+        let target = drained_at + late_gap;
+        sim.advance_to(target);
+        prop_assert_eq!(sim.now(), target);
+        prop_assert_eq!(sim.events_processed(), early.len() as u64);
+        prop_assert!(sim.is_empty());
+
+        // advance_to backwards (or to now) is a no-op.
+        sim.advance_to(Time::ZERO);
+        sim.advance_to(target);
+        prop_assert_eq!(sim.now(), target);
+
+        // New relative schedules are anchored at the advanced clock and
+        // drain in stable order.
+        for (i, &d) in late.iter().enumerate() {
+            sim.schedule_in(d, early.len() + i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, id)) = sim.pop() {
+            prop_assert!(t >= target, "event fired before the advanced clock");
+            popped.push((t.cycles() - target.cycles(), id - early.len()));
+        }
+        let mut expected: Vec<(u64, usize)> = late
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i))
+            .collect();
+        expected.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// The peak-pending waterline is exactly the maximum backlog over the
+    /// run when all events are scheduled up front, and never decreases.
+    #[test]
+    fn peak_pending_matches_max_backlog(
+        delays in proptest::collection::vec(0u64..8, 1..64),
+    ) {
+        let mut sim = Simulator::new();
+        for (i, &d) in delays.iter().enumerate() {
+            sim.schedule_in(d, i);
+            prop_assert_eq!(sim.peak_pending(), i + 1);
+        }
+        let peak_before = sim.peak_pending();
+        while sim.pop().is_some() {}
+        prop_assert_eq!(sim.peak_pending(), peak_before);
+        prop_assert_eq!(peak_before, delays.len());
+    }
+}

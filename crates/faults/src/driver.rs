@@ -138,6 +138,7 @@ impl FaultDriver {
     }
 
     fn drive(&mut self, w: &mut World, quiesce: u64) -> DriveOutcome {
+        let _prof = locksim_trace::prof::span("faults/drive");
         let mut out = DriveOutcome {
             exit: RunExit::TimeLimit,
             end_cycle: 0,
@@ -220,6 +221,7 @@ impl FaultDriver {
 
     /// Applies auto-resumes and plan events due at polling cycle `c`.
     fn apply_due(&mut self, w: &mut World, c: u64, out: &mut DriveOutcome) {
+        let _prof = locksim_trace::prof::span("faults/apply_due");
         let due: Vec<_> = self
             .auto_resumes
             .range(..=(c, u64::MAX))

@@ -75,6 +75,9 @@ pub struct ChaosRun {
     pub finished: bool,
     /// The chaos verdict ("pass", "DEADLOCK", "LIVENESS", ...).
     pub verdict: String,
+    /// End-of-run metrics snapshot (event-queue telemetry included), for
+    /// callers that measure the run itself (`benchsim`).
+    pub metrics: locksim_machine::MetricsSnapshot,
 }
 
 /// Runs one chaos case: builds the world for `backend`/`workload`/`seed`,
@@ -121,11 +124,13 @@ pub fn run_chaos(
     let violations = check_world(&mut w, plan, &out.windows, out.end_cycle);
     obs::observe(&format!("chaos/{backend_label}/s{seed}"), &w);
     let verdict = ChaosRow::verdict_of(&out, &violations).to_string();
+    let metrics = w.metrics_snapshot();
     Ok(ChaosRun {
         outcome: out,
         violations,
         finished,
         verdict,
+        metrics,
     })
 }
 

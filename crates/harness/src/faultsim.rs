@@ -150,8 +150,27 @@ impl FaultsimCfg {
 /// Runs one cell: the seeded workload on `backend` under `class`, judged
 /// by the oracles.
 pub fn run_cell(backend: BackendKind, class: FaultClass, cfg: &FaultsimCfg) -> MatrixCell {
+    run_cell_observed(backend, class, cfg).0
+}
+
+/// Like [`run_cell`], but also returns the run's end-of-run metrics
+/// snapshot (event-queue telemetry included) for callers that measure the
+/// run itself — `benchsim`'s faultsim scenarios. Inapplicable cells return
+/// a default (empty) snapshot.
+pub fn run_cell_observed(
+    backend: BackendKind,
+    class: FaultClass,
+    cfg: &FaultsimCfg,
+) -> (MatrixCell, locksim_machine::MetricsSnapshot) {
+    let empty = locksim_machine::MetricsSnapshot {
+        counters: Default::default(),
+        hists: Vec::new(),
+    };
     if !class.applies_to(backend) {
-        return MatrixCell::not_applicable(backend.label(), class.label());
+        return (
+            MatrixCell::not_applicable(backend.label(), class.label()),
+            empty,
+        );
     }
     let mut mach_cfg = MachineConfig::model_a(4);
     if backend == BackendKind::LcuFlt {
@@ -182,7 +201,11 @@ pub fn run_cell(backend: BackendKind, class: FaultClass, cfg: &FaultsimCfg) -> M
     let violations = check_world(&mut w, &plan, &out.windows, out.end_cycle);
     let label = format!("{}/{}", backend.label(), class.label());
     obs::observe(&label, &w);
-    MatrixCell::from_run(backend.label(), class.label(), &out, &violations, finished)
+    let snap = w.metrics_snapshot();
+    (
+        MatrixCell::from_run(backend.label(), class.label(), &out, &violations, finished),
+        snap,
+    )
 }
 
 /// Runs the full backend × fault-class matrix.

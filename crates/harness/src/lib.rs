@@ -15,6 +15,7 @@
 //! Perfetto / `chrome://tracing`, and appends a metrics-registry section
 //! to the markdown output and `results/` CSVs.
 
+pub mod bench;
 pub mod chaos;
 pub mod faultsim;
 pub mod figs;
@@ -49,16 +50,35 @@ pub fn emit(name: &str, tables: &[Table]) {
     }
 }
 
-/// Entry point shared by the figure binaries: parses observability flags
-/// (`--trace <path>`, `--trace-cap <records>`), regenerates the figure,
-/// emits its tables, and appends the metrics section collected from the
-/// figure's runs (printed as markdown, saved as `results/<name>_metrics.csv`).
+/// Entry point shared by the figure binaries: parses the shared
+/// observability flags (`--trace <path>`, `--trace-cap <records>`,
+/// `--lockstat <path>`, `--watchdog-cycles <n>`, `--self-profile <path>`)
+/// plus `--quick` (equivalent to `LOCKSIM_QUICK=1`) through the uniform
+/// [`obs::parse_bin_cli`] helper, regenerates the figure, emits its
+/// tables, and appends the metrics section collected from the figure's
+/// runs (printed as markdown, saved as `results/<name>_metrics.csv`).
 ///
 /// # Panics
 ///
 /// Panics if the results directory cannot be written.
 pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Table>) {
-    obs::init_from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = [obs::BinFlag {
+        name: "--quick",
+        takes_value: false,
+    }];
+    match obs::parse_bin_cli(&args, &flags) {
+        Ok((opts, extras)) => {
+            if extras.contains_key("--quick") {
+                std::env::set_var("LOCKSIM_QUICK", "1");
+            }
+            obs::apply_opts(&opts);
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
     let tables = f();
     emit(name, &tables);
     finish_bin(name);
@@ -84,5 +104,17 @@ pub fn finish_bin(name: &str) {
         std::fs::write(&path, html)
             .unwrap_or_else(|e| panic!("write lockstat report {}: {e}", path.display()));
         eprintln!("lockstat: wrote HTML report to {}", path.display());
+    }
+    if let Some((path, report)) = obs::take_self_profile() {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create self-profile dir");
+        }
+        std::fs::write(&path, report.collapsed())
+            .unwrap_or_else(|e| panic!("write self-profile {}: {e}", path.display()));
+        eprintln!(
+            "self-profile: wrote collapsed stacks to {} (flamegraph.pl / speedscope)",
+            path.display()
+        );
+        eprint!("{}", report.render_table());
     }
 }

@@ -41,6 +41,7 @@ struct Obs {
     trace_cap: usize,
     lockstat_path: Option<PathBuf>,
     watchdog_cycles: Option<u64>,
+    self_profile: Option<PathBuf>,
     /// A trace has been exported; later runs are left uninstrumented.
     captured: bool,
     /// Per-series (backend/variant label): run count and last snapshot.
@@ -56,6 +57,7 @@ impl Default for Obs {
             trace_cap: DEFAULT_TRACE_CAP,
             lockstat_path: None,
             watchdog_cycles: None,
+            self_profile: None,
             captured: false,
             metrics: BTreeMap::new(),
             lockstat: Vec::new(),
@@ -78,11 +80,15 @@ pub struct CliOpts {
     pub lockstat_path: Option<PathBuf>,
     /// Starvation-watchdog threshold in cycles.
     pub watchdog_cycles: Option<u64>,
+    /// Enable the host-side self-profiler and write the collapsed-stack
+    /// profile (flamegraph/speedscope format) here.
+    pub self_profile: Option<PathBuf>,
 }
 
 /// Parses the shared observability flags (`--trace <path>`,
-/// `--trace-cap <records>`, `--lockstat <path>`, `--watchdog-cycles <n>`)
-/// from an argument list (without the program name). Unrecognized
+/// `--trace-cap <records>`, `--lockstat <path>`, `--watchdog-cycles <n>`,
+/// `--self-profile <path>`) from an argument list (without the program
+/// name). Unrecognized
 /// arguments are returned for the caller to handle — bins with their own
 /// flags (e.g. `lockstat --quick`) parse the remainder themselves.
 ///
@@ -119,6 +125,10 @@ pub fn parse_cli_partial(args: &[String]) -> Result<(CliOpts, Vec<String>), Stri
                     .map_err(|_| format!("--watchdog-cycles: invalid count {v:?}"))?;
                 opts.watchdog_cycles = Some(n);
             }
+            "--self-profile" => {
+                let v = it.next().ok_or("--self-profile requires a file path")?;
+                opts.self_profile = Some(PathBuf::from(v));
+            }
             other => rest.push(other.to_string()),
         }
     }
@@ -135,7 +145,7 @@ pub fn parse_cli(args: &[String]) -> Result<CliOpts, String> {
     if let Some(other) = rest.first() {
         return Err(format!(
             "unknown argument {other:?} (supported: --trace <path>, --trace-cap <records>, \
-             --lockstat <path>, --watchdog-cycles <n>)"
+             --lockstat <path>, --watchdog-cycles <n>, --self-profile <path>)"
         ));
     }
     Ok(opts)
@@ -177,6 +187,7 @@ pub fn parse_bin_cli(
                 "--trace-cap <records>",
                 "--lockstat <path>",
                 "--watchdog-cycles <n>",
+                "--self-profile <path>",
             ]);
             return Err(format!(
                 "unknown argument {a:?} (supported: {})",
@@ -211,7 +222,15 @@ pub fn init_from_args() {
 
 /// Applies already-parsed observability options to the process state (used
 /// by bins that parse their own extra flags via [`parse_cli_partial`]).
+/// `--self-profile <path>` (or the `LOCKSIM_SELF_PROFILE=<path>` env var)
+/// additionally switches on the host-side span profiler; everything else
+/// leaves it disabled, where a span is a single relaxed atomic load.
 pub fn apply_opts(opts: &CliOpts) {
+    let self_profile = opts.self_profile.clone().or_else(|| {
+        std::env::var_os("LOCKSIM_SELF_PROFILE")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    });
     OBS.with(|o| {
         let mut o = o.borrow_mut();
         o.trace_path = opts.trace_path.clone();
@@ -220,6 +239,10 @@ pub fn apply_opts(opts: &CliOpts) {
         }
         o.lockstat_path = opts.lockstat_path.clone();
         o.watchdog_cycles = opts.watchdog_cycles;
+        o.self_profile = self_profile;
+        if o.self_profile.is_some() {
+            locksim_trace::prof::enable();
+        }
     });
 }
 
@@ -304,6 +327,22 @@ pub(crate) fn take_lockstat_html(name: &str) -> Option<(PathBuf, String)> {
             .collect();
         let title = format!("lockstat — {name}");
         Some((path, render_html(&title, &html_series)))
+    })
+}
+
+/// Drains the self-profiler when `--self-profile <path>` (or
+/// `LOCKSIM_SELF_PROFILE`) armed it: returns the destination path and the
+/// aggregated report, or `None` when profiling was off or recorded
+/// nothing. [`crate::finish_bin`] writes the collapsed-stack file and
+/// prints the hierarchical table.
+pub(crate) fn take_self_profile() -> Option<(PathBuf, locksim_trace::ProfileReport)> {
+    OBS.with(|o| {
+        let path = o.borrow().self_profile.clone()?;
+        let report = locksim_trace::prof::take_report();
+        if report.is_empty() {
+            return None;
+        }
+        Some((path, report))
     })
 }
 

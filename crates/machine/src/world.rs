@@ -12,7 +12,7 @@ use locksim_engine::stats::Counters;
 use locksim_engine::{Cycles, RngStream, Simulator, Time};
 use locksim_topo::{MsgClass, Network, NodeId};
 use locksim_trace::{
-    Ep as TraceEp, LockStats, MetricsRegistry, MetricsSnapshot, StarvationFlag, TraceEvent,
+    prof, Ep as TraceEp, LockStats, MetricsRegistry, MetricsSnapshot, StarvationFlag, TraceEvent,
     TraceKind, Tracer,
 };
 
@@ -94,8 +94,10 @@ enum Ev {
         from: CacheId,
         msg: CacheToDir,
     },
-    /// A backend wire message arrives (payload stashed by id).
-    Wire(u64),
+    /// A backend wire message arrives, payload in the event itself. The
+    /// self-profiler showed the former id→payload side-table costing two
+    /// hash operations per backend message on the hottest dispatch arm.
+    Wire(WirePayload),
     /// A backend timer fires.
     Timer(u64),
     /// End of a scheduling quantum on a core.
@@ -104,6 +106,16 @@ enum Ev {
     Installed(ThreadId, usize),
     /// Immediate wake for a watch on a line that was already invalid.
     WakeNow(ThreadId, LineAddr),
+}
+
+/// A backend protocol message in flight, carried inside [`Ev::Wire`]
+/// (opaque to the machine; only the backend that sent it knows the type).
+struct WirePayload(Box<dyn Any>);
+
+impl std::fmt::Debug for WirePayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WirePayload(..)")
+    }
 }
 
 /// Where a thread's simulated cycles went. Every cycle from spawn to
@@ -278,8 +290,6 @@ pub struct Mach {
     pending_mem: HashMap<(usize, LineAddr), PendingMem>,
     mem_waitq: HashMap<(usize, LineAddr), VecDeque<PendingMem>>,
     watchers: HashMap<(usize, LineAddr), Vec<ThreadId>>,
-    wire_payloads: HashMap<u64, Box<dyn Any>>,
-    wire_seq: u64,
     alloc: Alloc,
     metrics: MetricsRegistry,
     tracer: Tracer,
@@ -382,6 +392,17 @@ impl Mach {
     /// it with lock-protocol progress counters.
     pub fn events_processed(&self) -> u64 {
         self.sim.events_processed()
+    }
+
+    /// Total simulation events ever scheduled.
+    pub fn events_scheduled(&self) -> u64 {
+        self.sim.events_scheduled()
+    }
+
+    /// High-water mark of the event queue's backlog — the occupancy
+    /// waterline `benchsim` tracks per scenario.
+    pub fn evq_peak_pending(&self) -> usize {
+        self.sim.peak_pending()
     }
 
     /// Every unfinished thread with an acquire outstanding, in thread order
@@ -695,11 +716,9 @@ impl Mach {
         } else {
             self.net_send(now + extra, s, d, class)
         };
-        let id = self.wire_seq;
-        self.wire_seq += 1;
-        self.wire_payloads.insert(id, payload);
         self.metrics.incr("backend_wire_msgs");
-        self.sim.schedule_at(arrival, Ev::Wire(id));
+        self.sim
+            .schedule_at(arrival, Ev::Wire(WirePayload(payload)));
     }
 
     /// Sends on the network, counting the message class and recording a
@@ -964,8 +983,6 @@ impl World {
                 pending_mem: HashMap::new(),
                 mem_waitq: HashMap::new(),
                 watchers: HashMap::new(),
-                wire_payloads: HashMap::new(),
-                wire_seq: 0,
                 alloc: Alloc::new(),
                 metrics: MetricsRegistry::new(),
                 tracer: Tracer::new(),
@@ -1052,6 +1069,11 @@ impl World {
         }
         net.add("net_link_busy_cycles", busy);
         net.add("net_link_msgs", msgs);
+        // Event-queue telemetry: all simulation-derived, so deterministic
+        // for a given seed like every other counter here.
+        net.add("evq_events", self.mach.sim.events_processed());
+        net.add("evq_scheduled", self.mach.sim.events_scheduled());
+        net.add("evq_peak_pending", self.mach.sim.peak_pending() as u64);
         let backend = self.backend.counters();
         let mut extra: Vec<&Counters> = vec![&backend, &net];
         for d in &self.mach.dirs {
@@ -1338,6 +1360,7 @@ impl World {
     /// Runs until all threads finish, the event queue drains, or simulated
     /// time passes `limit`.
     pub fn run_for(&mut self, limit: Option<Time>) -> RunExit {
+        let _prof = prof::span("sim/run_for");
         loop {
             if self.mach.alive == 0 {
                 return RunExit::AllFinished;
@@ -1355,6 +1378,17 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        let _prof = prof::span(match &ev {
+            Ev::Resume(..) => "sim/dispatch/resume",
+            Ev::MemDone { .. } => "sim/dispatch/mem_done",
+            Ev::CacheMsg { .. } => "sim/dispatch/cache_msg",
+            Ev::DirMsg { .. } => "sim/dispatch/dir_msg",
+            Ev::Wire(..) => "sim/dispatch/wire",
+            Ev::Timer(..) => "sim/dispatch/timer",
+            Ev::Quantum(..) => "sim/dispatch/quantum",
+            Ev::Installed(..) => "sim/dispatch/installed",
+            Ev::WakeNow(..) => "sim/dispatch/wake",
+        });
         if self.mach.dbg.trace_all {
             eprintln!("[{}] {:?}", self.mach.sim.now(), ev);
         }
@@ -1384,19 +1418,23 @@ impl World {
             }
             Ev::MemDone { cache, line } => self.complete_mem(cache, line),
             Ev::CacheMsg { cache, line, msg } => {
-                let home = home_of(line, self.mach.dirs.len());
-                let from = self.mach.net.mem_endpoint(home).index() as u16;
-                let to = self.mach.net.core_endpoint(cache).index() as u16;
-                let class = match msg {
-                    DirToCache::DataS { .. } | DirToCache::DataM => "data",
-                    _ => "control",
-                };
-                self.mach.trace(|now| TraceEvent {
-                    t: now,
-                    ep: TraceEp::Core(cache as u32),
-                    kind: TraceKind::MsgRecv { class, from, to },
-                });
+                // Trace-prep (endpoint lookups, class naming, state reads)
+                // only when tracing is on: this is the hottest dispatch arm
+                // and the lazy record closure alone doesn't guard work done
+                // to build its captures.
                 let before = if self.mach.tracer.is_enabled() {
+                    let home = home_of(line, self.mach.dirs.len());
+                    let from = self.mach.net.mem_endpoint(home).index() as u16;
+                    let to = self.mach.net.core_endpoint(cache).index() as u16;
+                    let class = match msg {
+                        DirToCache::DataS { .. } | DirToCache::DataM => "data",
+                        _ => "control",
+                    };
+                    self.mach.trace(|now| TraceEvent {
+                        t: now,
+                        ep: TraceEp::Core(cache as u32),
+                        kind: TraceKind::MsgRecv { class, from, to },
+                    });
                     Some(self.mach.caches[cache].state(line))
                 } else {
                     None
@@ -1451,22 +1489,26 @@ impl World {
                 from,
                 msg,
             } => {
-                let src = self.mach.net.core_endpoint(from.0 as usize).index() as u16;
-                let dst = self.mach.net.mem_endpoint(dir).index() as u16;
-                let class = match msg {
-                    CacheToDir::InvAck { dirty: true }
-                    | CacheToDir::DowngradeAck { dirty: true } => "data",
-                    _ => "control",
-                };
-                self.mach.trace(|now| TraceEvent {
-                    t: now,
-                    ep: TraceEp::Dir(dir as u32),
-                    kind: TraceKind::MsgRecv {
-                        class,
-                        from: src,
-                        to: dst,
-                    },
-                });
+                // Same guard as the CacheMsg arm: skip endpoint/class prep
+                // entirely when tracing is off.
+                if self.mach.tracer.is_enabled() {
+                    let src = self.mach.net.core_endpoint(from.0 as usize).index() as u16;
+                    let dst = self.mach.net.mem_endpoint(dir).index() as u16;
+                    let class = match msg {
+                        CacheToDir::InvAck { dirty: true }
+                        | CacheToDir::DowngradeAck { dirty: true } => "data",
+                        _ => "control",
+                    };
+                    self.mach.trace(|now| TraceEvent {
+                        t: now,
+                        ep: TraceEp::Dir(dir as u32),
+                        kind: TraceKind::MsgRecv {
+                            class,
+                            from: src,
+                            to: dst,
+                        },
+                    });
+                }
                 let actions = self.mach.dirs[dir].handle(line, from, msg);
                 for act in actions {
                     // A data grant is the transaction's serialization point:
@@ -1509,13 +1551,9 @@ impl World {
                     );
                 }
             }
-            Ev::Wire(id) => {
-                let payload = self
-                    .mach
-                    .wire_payloads
-                    .remove(&id)
-                    .expect("wire payload vanished");
-                self.backend.on_wire(&mut self.mach, payload);
+            Ev::Wire(payload) => {
+                let _prof = prof::span("backend/on_wire");
+                self.backend.on_wire(&mut self.mach, payload.0);
             }
             Ev::Timer(token) => {
                 self.mach.trace(|now| TraceEvent {
@@ -1523,6 +1561,7 @@ impl World {
                     ep: TraceEp::Global,
                     kind: TraceKind::TimerFire { label: "backend" },
                 });
+                let _prof = prof::span("backend/on_timer");
                 self.backend.on_timer(&mut self.mach, token)
             }
             Ev::Quantum(core, gen) => self.quantum_tick(core, gen),
@@ -1706,6 +1745,7 @@ impl World {
                         write: mode == Mode::Write,
                     },
                 });
+                let _prof = prof::span("backend/on_acquire");
                 self.backend
                     .on_acquire(&mut self.mach, t, lock, mode, try_for);
             }
@@ -1732,6 +1772,7 @@ impl World {
                         write: mode == Mode::Write,
                     },
                 });
+                let _prof = prof::span("backend/on_release");
                 self.backend.on_release(&mut self.mach, t, lock, mode);
             }
             Action::Yield => {

@@ -1,0 +1,200 @@
+//! Allocation telemetry: a counting global allocator wrapping the system
+//! allocator, feeding the `benchsim` bin's per-scenario allocation deltas.
+//!
+//! The allocator is only *installed* (via `#[global_allocator]`) in the
+//! bins that want the numbers — `benchsim` — so library users and the test
+//! suite keep the plain system allocator. When installed, every
+//! alloc/dealloc updates a handful of relaxed atomics: total allocation
+//! count and bytes, live bytes, and a peak-live waterline that scenarios
+//! reset between runs ([`reset_peak`]) to get per-phase peaks.
+//!
+//! ```no_run
+//! // In a bin:
+//! #[global_allocator]
+//! static ALLOC: locksim_trace::alloc::CountingAlloc =
+//!     locksim_trace::alloc::CountingAlloc;
+//!
+//! fn main() {
+//!     locksim_trace::alloc::mark_installed();
+//!     let before = locksim_trace::alloc::snapshot();
+//!     // ... run a scenario ...
+//!     let after = locksim_trace::alloc::snapshot();
+//!     let delta = after.since(&before);
+//!     println!("allocs {} bytes {}", delta.allocs, delta.bytes_allocated);
+//! }
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// A `#[global_allocator]` shim that counts through to [`System`].
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    fn on_alloc(size: usize) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(size as u64, Ordering::Relaxed);
+        let live = CURRENT.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: usize) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        CURRENT.fetch_sub(size as u64, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers every allocation to `System`, only adding relaxed
+// counter updates around the calls.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::on_dealloc(layout.size());
+            Self::on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Declares that [`CountingAlloc`] is this process's global allocator, so
+/// reports can distinguish "no churn" from "not measuring". Call once from
+/// `main` of any bin that installs the allocator.
+pub fn mark_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Allocations (and realloc growths) since process start.
+    pub allocs: u64,
+    /// Deallocations since process start.
+    pub frees: u64,
+    /// Total bytes ever allocated.
+    pub bytes_allocated: u64,
+    /// Live heap bytes right now.
+    pub current_bytes: u64,
+    /// Peak live heap bytes since process start or the last
+    /// [`reset_peak`].
+    pub peak_bytes: u64,
+    /// Whether [`CountingAlloc`] is installed ([`mark_installed`]); all
+    /// counters read zero when it is not.
+    pub installed: bool,
+}
+
+impl AllocSnapshot {
+    /// The churn between `earlier` and `self` (monotonic counters only;
+    /// `current_bytes`/`peak_bytes` carry `self`'s absolute values).
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            frees: self.frees.saturating_sub(earlier.frees),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+            current_bytes: self.current_bytes,
+            peak_bytes: self.peak_bytes,
+            installed: self.installed,
+        }
+    }
+}
+
+/// Reads the counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+        bytes_allocated: BYTES.load(Ordering::Relaxed),
+        current_bytes: CURRENT.load(Ordering::Relaxed),
+        peak_bytes: PEAK.load(Ordering::Relaxed),
+        installed: INSTALLED.load(Ordering::Relaxed),
+    }
+}
+
+/// Restarts the peak-live waterline from the current live size, so the
+/// next [`snapshot`] reports the peak of one phase only.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in the test binary, so exercise the
+    // counting paths directly.
+    #[test]
+    fn counting_paths_balance() {
+        let before = snapshot();
+        CountingAlloc::on_alloc(100);
+        CountingAlloc::on_alloc(50);
+        CountingAlloc::on_dealloc(100);
+        let after = snapshot().since(&before);
+        assert_eq!(after.allocs, 2);
+        assert_eq!(after.frees, 1);
+        assert_eq!(after.bytes_allocated, 150);
+        CountingAlloc::on_dealloc(50); // rebalance for other tests
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        CountingAlloc::on_alloc(4096);
+        assert!(snapshot().peak_bytes >= 4096);
+        CountingAlloc::on_dealloc(4096);
+        reset_peak();
+        assert_eq!(snapshot().peak_bytes, snapshot().current_bytes);
+    }
+
+    #[test]
+    fn since_subtracts_monotonic_counters() {
+        let a = AllocSnapshot {
+            allocs: 10,
+            frees: 4,
+            bytes_allocated: 1000,
+            current_bytes: 600,
+            peak_bytes: 800,
+            installed: true,
+        };
+        let b = AllocSnapshot {
+            allocs: 25,
+            frees: 9,
+            bytes_allocated: 2500,
+            current_bytes: 900,
+            peak_bytes: 1200,
+            installed: true,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.allocs, 15);
+        assert_eq!(d.frees, 5);
+        assert_eq!(d.bytes_allocated, 1500);
+        assert_eq!(d.current_bytes, 900, "absolute, not a delta");
+        assert_eq!(d.peak_bytes, 1200, "absolute, not a delta");
+    }
+}

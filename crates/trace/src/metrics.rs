@@ -88,6 +88,7 @@ impl MetricsRegistry {
 
     /// Records a latency sample into histogram `name`.
     pub fn observe(&mut self, name: &'static str, cycles: u64) {
+        crate::prof::count("metrics/hist_samples", 1);
         self.hists.entry(name).or_default().observe(cycles);
     }
 

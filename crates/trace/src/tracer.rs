@@ -74,6 +74,7 @@ impl Tracer {
     }
 
     fn push(&mut self, ev: TraceEvent) {
+        crate::prof::count("trace/records", 1);
         if self.buf.len() == self.cap {
             self.buf.pop_front();
             self.dropped += 1;

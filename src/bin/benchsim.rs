@@ -1,0 +1,11 @@
+//! Root-package shim so `cargo run --release --bin benchsim` works from
+//! the workspace root without `-p locksim-harness`. See
+//! `crates/harness/src/bin/benchsim.rs` for the harness-local twin.
+
+#[global_allocator]
+static ALLOC: locksim::trace::alloc::CountingAlloc = locksim::trace::alloc::CountingAlloc;
+
+fn main() {
+    locksim::trace::alloc::mark_installed();
+    locksim::harness::bench::cli_main();
+}

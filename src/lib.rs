@@ -55,4 +55,5 @@ pub use locksim_ssb as ssb;
 pub use locksim_stm as stm;
 pub use locksim_swlocks as swlocks;
 pub use locksim_topo as topo;
+pub use locksim_trace as trace;
 pub use locksim_workloads as workloads;
