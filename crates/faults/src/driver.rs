@@ -299,6 +299,16 @@ impl FaultDriver {
         };
         if applied {
             w.mach().metrics_mut().incr("fault_injections");
+            // Mark the injection on the time-series so dashboard timelines
+            // can correlate tail spikes with the fault that caused them.
+            w.mach().series_mark(match inject {
+                Inject::Suspend { .. } => "fault/suspend",
+                Inject::Resume { .. } => "fault/resume",
+                Inject::Migrate { .. } => "fault/migrate",
+                Inject::FltEvict { .. } => "fault/flt_evict",
+                Inject::WireDelay { .. } => "fault/wire_delay",
+                Inject::WireClear => "fault/wire_clear",
+            });
             let (thread, arg) = inject_trace_fields(inject);
             let label = inject.label();
             w.mach().trace(|now| TraceEvent {

@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use locksim_faults::{generate, FuzzConfig};
 use locksim_machine::MetricsSnapshot;
+use locksim_report::json;
 use locksim_swlocks::SwAlg;
 use locksim_trace::alloc;
 
@@ -329,214 +330,6 @@ impl BenchReport {
     }
 }
 
-/// Minimal recursive-descent JSON reader — just enough for the bench
-/// schema (objects, arrays, strings without exotic escapes, numbers,
-/// booleans, null).
-mod json {
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Obj(Vec<(String, Value)>),
-        Arr(Vec<Value>),
-        Str(String),
-        Num(f64),
-        Bool(bool),
-        Null,
-    }
-
-    impl Value {
-        fn get(&self, key: &str) -> Result<&Value, String> {
-            match self {
-                Value::Obj(kvs) => kvs
-                    .iter()
-                    .find(|(k, _)| k == key)
-                    .map(|(_, v)| v)
-                    .ok_or_else(|| format!("missing field {key:?}")),
-                _ => Err(format!("not an object while reading {key:?}")),
-            }
-        }
-
-        pub fn get_str(&self, key: &str) -> Result<&str, String> {
-            match self.get(key)? {
-                Value::Str(s) => Ok(s),
-                other => Err(format!("field {key:?} is not a string: {other:?}")),
-            }
-        }
-
-        pub fn get_num(&self, key: &str) -> Result<f64, String> {
-            match self.get(key)? {
-                Value::Num(n) => Ok(*n),
-                other => Err(format!("field {key:?} is not a number: {other:?}")),
-            }
-        }
-
-        pub fn get_bool(&self, key: &str) -> Result<bool, String> {
-            match self.get(key)? {
-                Value::Bool(b) => Ok(*b),
-                other => Err(format!("field {key:?} is not a bool: {other:?}")),
-            }
-        }
-
-        pub fn get_arr(&self, key: &str) -> Result<&[Value], String> {
-            match self.get(key)? {
-                Value::Arr(xs) => Ok(xs),
-                other => Err(format!("field {key:?} is not an array: {other:?}")),
-            }
-        }
-    }
-
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            b: text.as_bytes(),
-            i: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.i != p.b.len() {
-            return Err(format!("trailing content at byte {}", p.i));
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        b: &'a [u8],
-        i: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
-                self.i += 1;
-            }
-        }
-
-        fn peek(&mut self) -> Result<u8, String> {
-            self.skip_ws();
-            self.b
-                .get(self.i)
-                .copied()
-                .ok_or_else(|| "unexpected end of input".to_string())
-        }
-
-        fn expect(&mut self, c: u8) -> Result<(), String> {
-            if self.peek()? != c {
-                return Err(format!(
-                    "expected {:?} at byte {}, found {:?}",
-                    c as char, self.i, self.b[self.i] as char
-                ));
-            }
-            self.i += 1;
-            Ok(())
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek()? {
-                b'{' => self.object(),
-                b'[' => self.array(),
-                b'"' => Ok(Value::Str(self.string()?)),
-                b't' => self.lit("true", Value::Bool(true)),
-                b'f' => self.lit("false", Value::Bool(false)),
-                b'n' => self.lit("null", Value::Null),
-                _ => self.number(),
-            }
-        }
-
-        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
-            if self.b[self.i..].starts_with(word.as_bytes()) {
-                self.i += word.len();
-                Ok(v)
-            } else {
-                Err(format!("bad literal at byte {}", self.i))
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut kvs = Vec::new();
-            if self.peek()? == b'}' {
-                self.i += 1;
-                return Ok(Value::Obj(kvs));
-            }
-            loop {
-                self.skip_ws();
-                let k = self.string()?;
-                self.expect(b':')?;
-                kvs.push((k, self.value()?));
-                match self.peek()? {
-                    b',' => self.i += 1,
-                    b'}' => {
-                        self.i += 1;
-                        return Ok(Value::Obj(kvs));
-                    }
-                    c => return Err(format!("expected ',' or '}}' , found {:?}", c as char)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut xs = Vec::new();
-            if self.peek()? == b']' {
-                self.i += 1;
-                return Ok(Value::Arr(xs));
-            }
-            loop {
-                xs.push(self.value()?);
-                match self.peek()? {
-                    b',' => self.i += 1,
-                    b']' => {
-                        self.i += 1;
-                        return Ok(Value::Arr(xs));
-                    }
-                    c => return Err(format!("expected ',' or ']', found {:?}", c as char)),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            while let Some(&c) = self.b.get(self.i) {
-                self.i += 1;
-                match c {
-                    b'"' => return Ok(out),
-                    b'\\' => {
-                        let e = *self
-                            .b
-                            .get(self.i)
-                            .ok_or_else(|| "unterminated escape".to_string())?;
-                        self.i += 1;
-                        out.push(match e {
-                            b'"' => '"',
-                            b'\\' => '\\',
-                            b'/' => '/',
-                            b'n' => '\n',
-                            b't' => '\t',
-                            other => return Err(format!("unsupported escape \\{}", other as char)),
-                        });
-                    }
-                    c => out.push(c as char),
-                }
-            }
-            Err("unterminated string".to_string())
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            self.skip_ws();
-            let start = self.i;
-            while self.b.get(self.i).is_some_and(|c| {
-                c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
-            }) {
-                self.i += 1;
-            }
-            std::str::from_utf8(&self.b[start..self.i])
-                .ok()
-                .and_then(|s| s.parse::<f64>().ok())
-                .map(Value::Num)
-                .ok_or_else(|| format!("bad number at byte {start}"))
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Comparator
 // ---------------------------------------------------------------------------
@@ -667,6 +460,64 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, tol: f64) -> Result<Compar
     Ok(Comparison { table, failures })
 }
 
+/// Renders the wall-time / sim-cycle trajectory across a list of baseline
+/// reports plus the current run: one column per baseline (in the given
+/// order — chronological when the `BENCH_NNNN.json` naming is followed)
+/// and a final `current` column. Scenarios absent from a report render as
+/// `-`.
+pub fn trend_table(history: &[(String, BenchReport)], cur: &BenchReport) -> Table {
+    let mut header: Vec<String> = vec!["scenario".to_string(), "metric".to_string()];
+    header.extend(history.iter().map(|(name, _)| name.clone()));
+    header.push("current".to_string());
+    let cols: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "benchsim — trajectory across {} baseline(s) ({} suite)",
+            history.len(),
+            cur.suite
+        ),
+        &cols,
+    );
+    let cell = |r: &BenchReport, name: &str, wall: bool| -> String {
+        r.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| {
+                if wall {
+                    format!("{:.1}", s.wall_ms)
+                } else {
+                    s.sim_cycles.to_string()
+                }
+            })
+            .unwrap_or_else(|| "-".to_string())
+    };
+    for s in &cur.scenarios {
+        for (metric, wall) in [("wall_ms", true), ("sim_cycles", false)] {
+            let mut row = vec![s.name.clone(), metric.to_string()];
+            for (_, b) in history {
+                row.push(cell(b, &s.name, wall));
+            }
+            row.push(cell(cur, &s.name, wall));
+            t.push(row);
+        }
+    }
+    t
+}
+
+/// Finds the latest checked-in trajectory baseline (`BENCH_<digits>.json`)
+/// in `dir`, skipping non-numbered files such as `BENCH_current.json` so a
+/// previous uncommitted run never becomes the gate.
+pub fn latest_numbered_baseline(dir: &std::path::Path) -> Option<PathBuf> {
+    locksim_report::discover_benches(dir)
+        .into_iter()
+        .rfind(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.strip_prefix("BENCH_"))
+                .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
+        })
+}
+
 /// Renders the measured suite as the bin's stdout table.
 pub fn report_table(r: &BenchReport) -> Table {
     let mut t = Table::new(
@@ -708,29 +559,54 @@ pub fn report_table(r: &BenchReport) -> Table {
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: benchsim [--quick] [--out <path>] [--baseline <BENCH_NNNN.json>] \
-         [--tolerance <x>] [shared flags: --trace/--lockstat/--self-profile ...]"
+        "usage: benchsim [--quick] [--out <path>] [--baseline <BENCH_NNNN.json>]... \
+         [--no-baseline] [--tolerance <x>] \
+         [shared flags: --trace/--lockstat/--self-profile ...]\n\
+         \n\
+         With no --baseline, the latest checked-in BENCH_<digits>.json in the\n\
+         current directory gates the run; --baseline may repeat — the gate\n\
+         compares against the last one and the full list renders as a\n\
+         trajectory table. --no-baseline skips the gate entirely."
     );
     std::process::exit(2);
 }
 
 /// Entry point of the `benchsim` bin (shared by the root-package shim):
-/// runs the suite, writes the JSON report, and — when `--baseline` was
-/// given — prints the regression table and exits non-zero past the
-/// tolerance.
+/// runs the suite, writes the JSON report, prints the regression table
+/// against the baseline(s), and exits non-zero past the tolerance.
+///
+/// Baseline selection: every `--baseline` (repeatable, in order) joins the
+/// trajectory table and the *last* one is the gate; with none given, the
+/// latest checked-in `BENCH_<digits>.json` in the current directory is
+/// auto-discovered, and `--no-baseline` disables gating.
 pub fn cli_main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--baseline` repeats, which the uniform flag parser's map cannot
+    // hold — strip its occurrences first, in order.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baselines: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--baseline" {
+            if i + 1 >= args.len() {
+                usage_exit("--baseline requires a value");
+            }
+            baselines.push(PathBuf::from(args.remove(i + 1)));
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
     let flags = [
         obs::BinFlag {
             name: "--quick",
             takes_value: false,
         },
         obs::BinFlag {
-            name: "--out",
-            takes_value: true,
+            name: "--no-baseline",
+            takes_value: false,
         },
         obs::BinFlag {
-            name: "--baseline",
+            name: "--out",
             takes_value: true,
         },
         obs::BinFlag {
@@ -748,7 +624,6 @@ pub fn cli_main() {
         .get("--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_current.json"));
-    let baseline = extras.get("--baseline").map(PathBuf::from);
     let tolerance = match extras.get("--tolerance") {
         None => DEFAULT_TOLERANCE,
         Some(v) => match v.parse::<f64>() {
@@ -758,6 +633,17 @@ pub fn cli_main() {
             )),
         },
     };
+    let mut auto_discovered = false;
+    if baselines.is_empty() && !extras.contains_key("--no-baseline") {
+        match latest_numbered_baseline(std::path::Path::new(".")) {
+            Some(p) => {
+                eprintln!("benchsim: auto-discovered baseline {}", p.display());
+                baselines.push(p);
+                auto_discovered = true;
+            }
+            None => eprintln!("benchsim: no BENCH_<digits>.json baseline found — running ungated"),
+        }
+    }
 
     let report = run_suite(quick);
     println!("{}", report_table(&report).markdown());
@@ -768,31 +654,105 @@ pub fn cli_main() {
         .unwrap_or_else(|e| panic!("write bench report {}: {e}", out_path.display()));
     eprintln!("benchsim: wrote {}", out_path.display());
 
+    let history: Vec<(String, BenchReport)> = baselines
+        .iter()
+        .map(|bp| {
+            let text = std::fs::read_to_string(bp)
+                .unwrap_or_else(|e| usage_exit(&format!("read baseline {}: {e}", bp.display())));
+            let base = BenchReport::from_json(&text)
+                .unwrap_or_else(|e| usage_exit(&format!("parse baseline {}: {e}", bp.display())));
+            let name = bp
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| bp.display().to_string());
+            (name, base)
+        })
+        .collect();
+    // The full history (even one entry) renders the trajectory; only
+    // same-suite baselines join it — the gate still rejects a mismatch.
+    let same_suite: Vec<(String, BenchReport)> = history
+        .iter()
+        .filter(|(_, b)| b.suite == report.suite)
+        .cloned()
+        .collect();
+    if !same_suite.is_empty() {
+        println!("{}", trend_table(&same_suite, &report).markdown());
+    }
+
     let mut failed = false;
-    if let Some(bp) = baseline {
-        let text = std::fs::read_to_string(&bp)
-            .unwrap_or_else(|e| usage_exit(&format!("read baseline {}: {e}", bp.display())));
-        let base = BenchReport::from_json(&text)
-            .unwrap_or_else(|e| usage_exit(&format!("parse baseline {}: {e}", bp.display())));
-        match compare(&base, &report, tolerance) {
+    let mut gate_verdicts: Vec<(String, String)> = Vec::new();
+    if let Some((name, base)) = history.last() {
+        match compare(base, &report, tolerance) {
             Ok(cmp) => {
                 println!("{}", cmp.table.markdown());
                 if cmp.ok() {
-                    eprintln!("benchsim: PASS against {}", bp.display());
+                    eprintln!("benchsim: PASS against {name}");
                 } else {
                     for f in &cmp.failures {
                         eprintln!("benchsim: FAIL {f}");
                     }
                     failed = true;
                 }
+                gate_verdicts.push((
+                    "gate".to_string(),
+                    if cmp.ok() { "pass" } else { "fail" }.to_string(),
+                ));
+                gate_verdicts.push(("baseline".to_string(), name.clone()));
+            }
+            // An auto-discovered baseline of a different suite (e.g. a
+            // --quick run next to the checked-in standard trajectory) is
+            // not an error — the gate just doesn't apply.
+            Err(msg) if auto_discovered => {
+                eprintln!("benchsim: skipping gate — {msg}");
+                gate_verdicts.push(("gate".to_string(), "skipped".to_string()));
             }
             Err(msg) => usage_exit(&msg),
         }
     }
+    write_gate_manifest(&report, &gate_verdicts);
     finish_bin("benchsim");
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Writes the comparator's own ledger manifest (bin `benchsim`, label
+/// `gate`): the suite name as config, the summed simulated cycles, and the
+/// gate verdicts — so the dashboard's verdict matrix shows the perf gate
+/// next to the oracle verdicts. Ungated runs record `gate: ungated`.
+fn write_gate_manifest(report: &BenchReport, gate_verdicts: &[(String, String)]) {
+    let empty = MetricsSnapshot {
+        counters: Default::default(),
+        hists: Vec::new(),
+        sketches: Vec::new(),
+    };
+    let mut verdicts: Vec<locksim_report::Verdict> = gate_verdicts
+        .iter()
+        .map(|(name, verdict)| locksim_report::Verdict {
+            name: name.clone(),
+            verdict: verdict.clone(),
+        })
+        .collect();
+    if verdicts.is_empty() {
+        verdicts.push(locksim_report::Verdict {
+            name: "gate".to_string(),
+            verdict: "ungated".to_string(),
+        });
+    }
+    let total_cycles: u64 = report.scenarios.iter().map(|s| s.sim_cycles).sum();
+    let m = locksim_report::RunManifest::from_snapshot(
+        "benchsim",
+        "gate",
+        &report.suite,
+        0,
+        total_cycles,
+        verdicts,
+        &empty,
+        None,
+    );
+    let dir = std::path::Path::new("results/runs");
+    locksim_report::write_manifest(dir, &m)
+        .unwrap_or_else(|e| panic!("write gate manifest to {}: {e}", dir.display()));
 }
 
 #[cfg(test)]

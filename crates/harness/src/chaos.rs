@@ -380,6 +380,12 @@ pub fn cli_main() {
         .unwrap_or_else(|| PathBuf::from("results/chaossim.html"));
 
     let report = soak(&cfg);
+    for r in &report.rows {
+        obs::record_verdicts(
+            &format!("chaos/{}/s{}", r.backend, r.seed),
+            vec![("chaos".to_string(), r.verdict.clone())],
+        );
+    }
     emit("chaossim_verdicts", &[verdict_table(&cfg, &report)]);
 
     write_artifact(&csv_path, &chaos_csv(&report.rows));

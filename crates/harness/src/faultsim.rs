@@ -165,6 +165,7 @@ pub fn run_cell_observed(
     let empty = locksim_machine::MetricsSnapshot {
         counters: Default::default(),
         hists: Vec::new(),
+        sketches: Vec::new(),
     };
     if !class.applies_to(backend) {
         return (
@@ -310,6 +311,18 @@ pub fn cli_main() {
         .unwrap_or_else(|| PathBuf::from("results/faultsim.html"));
 
     let cells = run_matrix(&cfg);
+    for c in cells.iter().filter(|c| c.verdict != "n/a") {
+        obs::record_verdicts(
+            &format!("{}/{}", c.backend, c.fault),
+            vec![
+                ("oracle".to_string(), c.verdict.clone()),
+                (
+                    "finished".to_string(),
+                    if c.finished { "pass" } else { "fail" }.to_string(),
+                ),
+            ],
+        );
+    }
     // "_verdicts" keeps the table's CSV clear of the machine-readable
     // artifact below, which defaults to results/faultsim.csv.
     emit("faultsim_verdicts", &[verdict_table(&cfg, &cells)]);

@@ -92,10 +92,24 @@ pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Table>) {
 ///
 /// Panics if the results directory or the report file cannot be written.
 pub fn finish_bin(name: &str) {
-    if let Some(t) = obs::take_metrics_table(name) {
+    let runs = obs::take_runs();
+    if let Some(t) = obs::metrics_table(name, &runs) {
         println!("{}", t.markdown());
         t.save_csv(Path::new("results"), &format!("{name}_metrics"))
             .expect("write metrics csv");
+    }
+    let manifests = obs::manifests(name, &runs);
+    if !manifests.is_empty() {
+        let dir = Path::new("results/runs");
+        for m in &manifests {
+            locksim_report::write_manifest(dir, m)
+                .unwrap_or_else(|e| panic!("write run manifest to {}: {e}", dir.display()));
+        }
+        eprintln!(
+            "ledger: wrote {} run manifest(s) to {} (aggregate with the `report` bin)",
+            manifests.len(),
+            dir.display()
+        );
     }
     if let Some((path, html)) = obs::take_lockstat_html(name) {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {

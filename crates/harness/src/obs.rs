@@ -22,6 +22,8 @@ use std::path::PathBuf;
 use locksim_machine::{
     blocking_chains, render_html, HtmlSeries, LockChain, LockStats, MetricsSnapshot, World,
 };
+use locksim_report::{RunManifest, Verdict};
+use locksim_trace::SeriesSnapshot;
 
 use crate::table::Table;
 
@@ -36,6 +38,23 @@ struct LockstatSeries {
     end_cycles: u64,
 }
 
+/// One series' accumulated capture: the run count plus the last run's
+/// end-of-run state — everything both the metrics table and the
+/// `locksim-run-v1` ledger manifest need.
+pub(crate) struct RunCapture {
+    /// How many runs contributed (the capture keeps the last one).
+    pub runs: u64,
+    /// World RNG seed of the last run.
+    pub seed: u64,
+    /// Simulated end time of the last run, in cycles.
+    pub end_cycles: u64,
+    /// Metrics-registry snapshot of the last run.
+    pub snap: MetricsSnapshot,
+    /// Windowed time-series of the last run (empty rows when the series
+    /// collector recorded nothing).
+    pub series: SeriesSnapshot,
+}
+
 struct Obs {
     trace_path: Option<PathBuf>,
     trace_cap: usize,
@@ -44,8 +63,11 @@ struct Obs {
     self_profile: Option<PathBuf>,
     /// A trace has been exported; later runs are left uninstrumented.
     captured: bool,
-    /// Per-series (backend/variant label): run count and last snapshot.
-    metrics: BTreeMap<String, (u64, MetricsSnapshot)>,
+    /// Per-series (backend/variant label) run captures.
+    metrics: BTreeMap<String, RunCapture>,
+    /// Per-series oracle/gate verdicts, attached to the matching ledger
+    /// manifest by label (faultsim cells, chaossim seeds).
+    verdicts: BTreeMap<String, Vec<Verdict>>,
     /// Per-run lockstat captures, in run order.
     lockstat: Vec<LockstatSeries>,
 }
@@ -60,6 +82,7 @@ impl Default for Obs {
             self_profile: None,
             captured: false,
             metrics: BTreeMap::new(),
+            verdicts: BTreeMap::new(),
             lockstat: Vec::new(),
         }
     }
@@ -253,6 +276,10 @@ pub fn apply_opts(opts: &CliOpts) {
 pub(crate) fn arm(w: &mut World) {
     OBS.with(|o| {
         let o = o.borrow();
+        // The windowed time-series collector is always on: it is bounded
+        // memory, purely simulation-derived, and feeds the run-ledger
+        // manifests every bin writes (0 = default window).
+        w.enable_series(0);
         if o.trace_path.is_some() && !o.captured {
             w.enable_trace(o.trace_cap);
         }
@@ -287,12 +314,24 @@ pub(crate) fn observe(label: &str, w: &World) {
                 o.captured = true;
             }
         }
+        let seed = w.mach_ref().seed();
+        let end_cycles = w.mach_ref().now().cycles();
+        let series = w.series_snapshot();
         let entry = o
             .metrics
             .entry(label.to_string())
-            .or_insert_with(|| (0, snap.clone()));
-        entry.0 += 1;
-        entry.1 = snap;
+            .or_insert_with(|| RunCapture {
+                runs: 0,
+                seed,
+                end_cycles,
+                snap: snap.clone(),
+                series: series.clone(),
+            });
+        entry.runs += 1;
+        entry.seed = seed;
+        entry.end_cycles = end_cycles;
+        entry.snap = snap;
+        entry.series = series;
         if o.lockstat_path.is_some() && w.lockstat().is_enabled() {
             let chains = blocking_chains(w.mach_ref().tracer().events());
             o.lockstat.push(LockstatSeries {
@@ -346,41 +385,78 @@ pub(crate) fn take_self_profile() -> Option<(PathBuf, locksim_trace::ProfileRepo
     })
 }
 
-/// Drains the accumulated per-series metrics into a table (one row per
+/// Drains the accumulated per-series run captures. [`crate::finish_bin`]
+/// renders them into the metrics table and the run-ledger manifests.
+pub(crate) fn take_runs() -> BTreeMap<String, RunCapture> {
+    OBS.with(|o| std::mem::take(&mut o.borrow_mut().metrics))
+}
+
+/// Renders drained run captures into the metrics table (one row per
 /// counter / histogram), or `None` when no instrumented run happened.
-pub(crate) fn take_metrics_table(name: &str) -> Option<Table> {
+pub(crate) fn metrics_table(name: &str, runs: &BTreeMap<String, RunCapture>) -> Option<Table> {
+    if runs.is_empty() {
+        return None;
+    }
+    let mut t = Table::new(
+        format!("Metrics — {name} (registry snapshot of each series' last run)"),
+        &["series", "runs", "metric", "value"],
+    );
+    for (label, cap) in runs {
+        for (cname, v) in cap.snap.counters.iter() {
+            t.push(vec![
+                label.clone(),
+                cap.runs.to_string(),
+                format!("counter {cname}"),
+                v.to_string(),
+            ]);
+        }
+        for h in &cap.snap.hists {
+            t.push(vec![
+                label.clone(),
+                cap.runs.to_string(),
+                format!("hist {}", h.name),
+                format!(
+                    "count {} p50 {} p95 {} p99 {} p999 {} p9999 {} max {}",
+                    h.count, h.p50, h.p95, h.p99, h.p999, h.p9999, h.max
+                ),
+            ]);
+        }
+    }
+    Some(t)
+}
+
+/// Records oracle/gate verdicts for the series named `label`; they are
+/// attached to that series' ledger manifest when [`manifests`] drains.
+pub(crate) fn record_verdicts(label: &str, verdicts: Vec<(String, String)>) {
     OBS.with(|o| {
-        let mut o = o.borrow_mut();
-        if o.metrics.is_empty() {
-            return None;
-        }
-        let mut t = Table::new(
-            format!("Metrics — {name} (registry snapshot of each series' last run)"),
-            &["series", "runs", "metric", "value"],
+        o.borrow_mut().verdicts.insert(
+            label.to_string(),
+            verdicts
+                .into_iter()
+                .map(|(name, verdict)| Verdict { name, verdict })
+                .collect(),
         );
-        for (label, (runs, snap)) in std::mem::take(&mut o.metrics) {
-            for (cname, v) in snap.counters.iter() {
-                t.push(vec![
-                    label.clone(),
-                    runs.to_string(),
-                    format!("counter {cname}"),
-                    v.to_string(),
-                ]);
-            }
-            for h in &snap.hists {
-                t.push(vec![
-                    label.clone(),
-                    runs.to_string(),
-                    format!("hist {}", h.name),
-                    format!(
-                        "count {} p50 {} p95 {} p99 {}",
-                        h.count, h.p50, h.p95, h.p99
-                    ),
-                ]);
-            }
-        }
-        Some(t)
-    })
+    });
+}
+
+/// Builds one `locksim-run-v1` ledger manifest per drained series,
+/// attaching any verdicts recorded for its label (and draining them).
+pub(crate) fn manifests(bin: &str, runs: &BTreeMap<String, RunCapture>) -> Vec<RunManifest> {
+    let mut verdicts = OBS.with(|o| std::mem::take(&mut o.borrow_mut().verdicts));
+    runs.iter()
+        .map(|(label, cap)| {
+            RunManifest::from_snapshot(
+                bin,
+                label,
+                "",
+                cap.seed,
+                cap.end_cycles,
+                verdicts.remove(label.as_str()).unwrap_or_default(),
+                &cap.snap,
+                Some(&cap.series),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

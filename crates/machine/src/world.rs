@@ -12,8 +12,8 @@ use locksim_engine::stats::Counters;
 use locksim_engine::{Cycles, RngStream, Simulator, Time};
 use locksim_topo::{MsgClass, Network, NodeId};
 use locksim_trace::{
-    prof, Ep as TraceEp, LockStats, MetricsRegistry, MetricsSnapshot, StarvationFlag, TraceEvent,
-    TraceKind, Tracer,
+    prof, Ep as TraceEp, LockStats, MetricsRegistry, MetricsSnapshot, SeriesCollector,
+    SeriesSnapshot, StarvationFlag, TraceEvent, TraceKind, Tracer,
 };
 
 use crate::addr::{home_of, Addr, Alloc};
@@ -106,6 +106,8 @@ enum Ev {
     Installed(ThreadId, usize),
     /// Immediate wake for a watch on a line that was already invalid.
     WakeNow(ThreadId, LineAddr),
+    /// A thread voluntarily yields its core (spin-then-yield backends).
+    YieldNow(ThreadId),
 }
 
 /// A backend protocol message in flight, carried inside [`Ev::Wire`]
@@ -294,6 +296,10 @@ pub struct Mach {
     metrics: MetricsRegistry,
     tracer: Tracer,
     lockstat: LockStats,
+    series: SeriesCollector,
+    /// Threads with an acquire outstanding right now (feeds the series
+    /// queue-depth waterline without scanning the thread table).
+    waiting_threads: u64,
     seed: u64,
     next_stream: u64,
     alive: usize,
@@ -343,6 +349,11 @@ impl Mach {
     /// Machine configuration.
     pub fn cfg(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// World RNG seed (recorded in run manifests).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of cores.
@@ -494,6 +505,23 @@ impl Mach {
         &mut self.lockstat
     }
 
+    /// The windowed time-series collector (disabled unless
+    /// [`World::enable_series`] was called).
+    pub fn series(&self) -> &SeriesCollector {
+        &self.series
+    }
+
+    /// Records a marked event (fault injection, oracle firing, ...) on the
+    /// time-series at the current simulated time. No-op while the series
+    /// collector is disabled.
+    #[inline]
+    pub fn series_mark(&mut self, kind: &'static str) {
+        if self.series.enabled() {
+            let now = self.sim.now().cycles();
+            self.series.mark(now, kind);
+        }
+    }
+
     /// Backend hook: bumps a protocol-specific per-lock counter (no-op while
     /// lockstat is disabled).
     #[inline]
@@ -505,6 +533,7 @@ impl Mach {
     /// the machine-wide `starvation_flags` counter.
     fn note_starvation(&mut self, flag: StarvationFlag) {
         self.metrics.incr("starvation_flags");
+        self.series.mark(flag.at, "starvation_flag");
         self.tracer.record(|| TraceEvent {
             t: Time::from_cycles(flag.at),
             ep: TraceEp::Thread(flag.thread),
@@ -606,6 +635,8 @@ impl Mach {
         self.threads[ti].stats.wait_cycles += wait;
         self.metrics.incr("locks_granted");
         self.metrics.observe("lock_wait_cycles", wait);
+        self.waiting_threads = self.waiting_threads.saturating_sub(1);
+        self.series.on_grant(granted_at.cycles(), wait);
         if let Some((lock, mode)) = self.threads[ti].waiting_on.take() {
             self.threads[ti].holding.push((lock, granted_at));
             self.tracer.record(|| TraceEvent {
@@ -647,6 +678,7 @@ impl Mach {
         self.threads[ti].stats.fails += 1;
         self.threads[ti].stats.wait_cycles += (self.sim.now() + delay) - since;
         self.metrics.incr("locks_failed");
+        self.waiting_threads = self.waiting_threads.saturating_sub(1);
         if let Some((lock, _)) = self.threads[ti].waiting_on.take() {
             let now = self.sim.now();
             self.tracer.record(|| TraceEvent {
@@ -806,6 +838,22 @@ impl Mach {
             return;
         }
         self.watchers.entry((core, line)).or_default().push(t);
+    }
+
+    /// Whether runnable threads are waiting for a core — the oversubscribed
+    /// regime where a spinning thread should donate its timeslice instead
+    /// of burning it (spin-then-yield).
+    pub fn has_ready_threads(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Requests that thread `t` yield its core to the next ready thread.
+    /// Processed as an event so backend callbacks (which hold only `Mach`)
+    /// can trigger a reschedule; a no-op by the time it fires if `t` is
+    /// already off-core or no thread is waiting for a core.
+    pub fn request_yield(&mut self, t: ThreadId) {
+        self.metrics.incr("yield_requests");
+        self.sim.schedule_in(0, Ev::YieldNow(t));
     }
 
     /// Removes any watches registered for `t` on `line` at its current core.
@@ -987,6 +1035,8 @@ impl World {
                 metrics: MetricsRegistry::new(),
                 tracer: Tracer::new(),
                 lockstat: LockStats::new(),
+                series: SeriesCollector::new(),
+                waiting_threads: 0,
                 seed,
                 next_stream: 0,
                 alive: 0,
@@ -1012,6 +1062,21 @@ impl World {
     /// any wait exceeding that many cycles.
     pub fn enable_lockstat(&mut self, watchdog_cycles: Option<u64>) {
         self.mach.lockstat.enable(watchdog_cycles);
+    }
+
+    /// Starts windowed time-series collection (per-window grant
+    /// throughput, wait-latency sketch, queue-depth waterline, and event
+    /// marks). `window` is the initial width in simulated cycles; 0 picks
+    /// the default. Memory stays bounded: the width doubles (merging
+    /// windows pairwise) when a run outgrows the cap.
+    pub fn enable_series(&mut self, window: u64) {
+        self.mach.series.enable(window);
+    }
+
+    /// Deterministic export of the collected time-series (empty when
+    /// [`World::enable_series`] was never called).
+    pub fn series_snapshot(&self) -> SeriesSnapshot {
+        self.mach.series.snapshot()
     }
 
     /// The collected per-lock statistics.
@@ -1388,6 +1453,7 @@ impl World {
             Ev::Quantum(..) => "sim/dispatch/quantum",
             Ev::Installed(..) => "sim/dispatch/installed",
             Ev::WakeNow(..) => "sim/dispatch/wake",
+            Ev::YieldNow(..) => "sim/dispatch/yield",
         });
         if self.mach.dbg.trace_all {
             eprintln!("[{}] {:?}", self.mach.sim.now(), ev);
@@ -1567,6 +1633,29 @@ impl World {
             Ev::Quantum(core, gen) => self.quantum_tick(core, gen),
             Ev::Installed(t, core) => self.finish_install(t, core),
             Ev::WakeNow(t, line) => self.backend.on_line_invalidated(&mut self.mach, t, line),
+            Ev::YieldNow(t) => self.yield_now(t),
+        }
+    }
+
+    /// A requested yield fires: hand the core to the next ready thread. By
+    /// the time the event is dispatched the requester may already be
+    /// off-core (quantum preemption raced it) or alone (ready queue
+    /// drained) — both are no-ops.
+    fn yield_now(&mut self, t: ThreadId) {
+        let ti = t.0 as usize;
+        let th = &self.mach.threads[ti];
+        if th.core.is_none()
+            || th.run == ThreadRun::Finished
+            || th.suspended
+            || self.mach.ready.is_empty()
+        {
+            return;
+        }
+        let core = th.core.expect("checked on-core");
+        self.mach.metrics.incr("yields_taken");
+        self.deschedule_to_ready(t);
+        if let Some(next) = self.mach.ready.pop_front() {
+            self.install(next, core.0 as usize, self.mach.cfg.ctx_switch);
         }
     }
 
@@ -1733,6 +1822,9 @@ impl World {
                 let req_at = self.mach.sim.now();
                 self.mach.threads[ti].waiting_since = Some(req_at);
                 self.mach.threads[ti].waiting_on = Some((lock, mode));
+                self.mach.waiting_threads += 1;
+                let depth = self.mach.waiting_threads;
+                self.mach.series.on_queue_depth(req_at.cycles(), depth);
                 self.mach
                     .lockstat
                     .on_request(lock.0, t.0, mode == Mode::Write, req_at.cycles());

@@ -186,6 +186,22 @@ impl LockBackend for SwLockBackend {
     }
 
     fn on_line_invalidated(&mut self, m: &mut Mach, t: ThreadId, _line: LineAddr) {
+        // A wake can reach a thread that was preempted after arming its
+        // watch (watches stay registered at the old core). Acting on it
+        // would advance the spin machine into a mid-read phase that
+        // neither the fallback timer nor the reschedule re-drive covers —
+        // the lost-grant wedge of `tests/corpus/s00025_mrsw_none.txt`.
+        // A preempted thread executes nothing: drop the wake and let
+        // `on_thread_scheduled` re-drive the spin loop with a fresh read.
+        if !m.is_scheduled(t) {
+            self.st.counters.incr("sw_wakes_dropped_offcore");
+            return;
+        }
+        // A real invalidation means the line the spin watches changed —
+        // the wait is being served, not futile.
+        if let Some(tsm) = self.st.threads.get_mut(&t) {
+            tsm.futile = 0;
+        }
         self.dispatch(m, t, Step::Wake);
     }
 
@@ -205,11 +221,33 @@ impl LockBackend for SwLockBackend {
                     .get(&t)
                     .is_some_and(|tsm| tsm.phase == phase);
                 if stuck {
+                    // Off-core: the thread cannot re-read; the re-drive on
+                    // its next `on_thread_scheduled` covers it.
+                    if !m.is_scheduled(t) {
+                        return;
+                    }
                     self.st.counters.incr("sw_fallback_redrives");
                     if let Some(lock) = self.st.threads.get(&t).map(|tsm| tsm.lock) {
                         m.lockstat_bump(lock, "sw_fallback_redrives");
                     }
-                    self.redrive(m, t);
+                    let futile = {
+                        let tsm = self.st.threads.get_mut(&t).expect("stuck checked");
+                        tsm.futile += 1;
+                        tsm.futile
+                    };
+                    if futile >= crate::state::YIELD_AFTER_FUTILE && m.has_ready_threads() {
+                        // Stuck several full fallback periods with threads
+                        // waiting for a core: donate the timeslice
+                        // (spin-then-yield) so a preempted predecessor —
+                        // possibly the thread this spin is waiting on —
+                        // gets a core well before the next quantum tick.
+                        // The re-drive runs when this thread is
+                        // rescheduled.
+                        self.st.counters.incr("sw_spin_yields");
+                        m.request_yield(t);
+                    } else {
+                        self.redrive(m, t);
+                    }
                 }
             }
             TimerPurpose::Abort => {

@@ -121,7 +121,19 @@ pub(crate) struct Tsm {
     pub aborted: bool,
     /// Consecutive spin wake-ups (drives Posix parking).
     pub spins: u64,
+    /// Consecutive fallback timers that fired with no intervening
+    /// invalidation wake — a measure of how long the spin has been futile.
+    /// Past [`YIELD_AFTER_FUTILE`] an oversubscribed spinner donates its
+    /// timeslice instead of burning it.
+    pub futile: u32,
 }
+
+/// Futile fallback periods (5 000 cycles each) a spinner tolerates before
+/// yielding its core when other threads are waiting to run. Low enough
+/// that a handoff stalled behind a preempted queue head recovers well
+/// inside the chaos detector's quiescence window; high enough that the
+/// oversubscription anomaly of pure spinning (Fig. 10) still shows.
+pub(crate) const YIELD_AFTER_FUTILE: u32 = 6;
 
 /// Side memory for one lock (allocated lazily, each word on its own line).
 #[derive(Debug, Clone, Copy)]

@@ -150,5 +150,6 @@ pub(crate) fn new_tsm(lock: locksim_machine::Addr, mode: locksim_machine::Mode, 
         scratch: 0,
         aborted: false,
         spins: 0,
+        futile: 0,
     }
 }

@@ -11,6 +11,8 @@ pub mod lockstat;
 pub mod metrics;
 pub mod prof;
 pub mod record;
+pub mod series;
+pub mod sketch;
 pub mod tracer;
 
 pub use alloc::{AllocSnapshot, CountingAlloc};
@@ -20,4 +22,6 @@ pub use lockstat::{FlagOutcome, LockStat, LockStats, StarvationFlag};
 pub use metrics::{LatencyHist, MetricsRegistry, MetricsSnapshot};
 pub use prof::{ProfileReport, Span, SpanRow};
 pub use record::{Ep, TraceEvent, TraceKind};
+pub use series::{SeriesCollector, SeriesSnapshot, WindowRow};
+pub use sketch::{QuantileSketch, TailSummary};
 pub use tracer::Tracer;

@@ -26,6 +26,8 @@ use std::fmt::Write as _;
 
 use locksim_engine::stats::Histogram;
 
+use crate::sketch::QuantileSketch;
+
 /// Index into the per-mode `[read, write]` arrays.
 fn mode_ix(write: bool) -> usize {
     usize::from(write)
@@ -44,6 +46,12 @@ pub struct LockStat {
     pub handoff: Histogram,
     /// Critical-section hold times.
     pub hold: Histogram,
+    /// Handoff latency at sketch resolution (p99.9/p99.99 readable).
+    pub handoff_sketch: QuantileSketch,
+    /// Hold times at sketch resolution.
+    pub hold_sketch: QuantileSketch,
+    /// Queue depth sampled at each enqueue (sketch resolution).
+    pub queue_sketch: QuantileSketch,
     /// Sum of wait cycles, by `[read, write]` mode.
     pub total_wait: [u64; 2],
     /// Largest single wait, by `[read, write]` mode.
@@ -83,6 +91,7 @@ impl LockStat {
             self.max_wait[0],
             self.max_wait[1]
         );
+        let _ = writeln!(out, "  handoff tail: {}", tail_line(&self.handoff_sketch));
         let _ = writeln!(out, "  hold: {}", hist_line(&self.hold));
         let _ = writeln!(
             out,
@@ -104,6 +113,14 @@ fn hist_line(h: &Histogram) -> String {
         h.quantile(0.50).unwrap_or(0),
         h.quantile(0.95).unwrap_or(0),
         h.quantile(0.99).unwrap_or(0)
+    )
+}
+
+fn tail_line(s: &QuantileSketch) -> String {
+    let t = s.tail_summary();
+    format!(
+        "p50 {} p99 {} p999 {} p9999 {} max {}",
+        t.p50, t.p99, t.p999, t.p9999, t.max
     )
 }
 
@@ -192,6 +209,7 @@ impl LockStats {
         let s = self.locks.entry(lock).or_default();
         s.cur_queue += 1;
         s.max_queue = s.max_queue.max(s.cur_queue);
+        s.queue_sketch.add(u64::from(s.cur_queue));
     }
 
     /// A thread's acquire was granted after `wait` cycles. Returns a
@@ -212,6 +230,7 @@ impl LockStats {
         let ix = mode_ix(write);
         s.acquires[ix] += 1;
         s.handoff.add(wait);
+        s.handoff_sketch.add(wait);
         s.total_wait[ix] += wait;
         s.max_wait[ix] = s.max_wait[ix].max(wait);
         s.cur_queue = s.cur_queue.saturating_sub(1);
@@ -232,6 +251,7 @@ impl LockStats {
         let s = self.locks.entry(lock).or_default();
         s.releases[mode_ix(write)] += 1;
         s.hold.add(held);
+        s.hold_sketch.add(held);
         if !write {
             s.cur_readers = s.cur_readers.saturating_sub(1);
         }
@@ -423,6 +443,14 @@ mod tests {
         assert_eq!(s.hold.count(), 3);
         assert_eq!(s.max_wait, [6, 200]);
         assert_eq!(s.total_wait, [10, 200]);
+        // Sketches ride the same feed.
+        assert_eq!(s.handoff_sketch.count(), 3);
+        assert_eq!(s.handoff_sketch.max(), Some(200));
+        assert_eq!(s.hold_sketch.count(), 3);
+        assert_eq!(s.hold_sketch.max(), Some(100));
+        // Queue depth sampled at each enqueue: 1, 2, 3.
+        assert_eq!(s.queue_sketch.count(), 3);
+        assert_eq!(s.queue_sketch.max(), Some(3));
     }
 
     #[test]

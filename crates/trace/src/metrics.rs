@@ -1,21 +1,28 @@
 //! The metrics registry: named counters plus latency histograms with
-//! p50/p95/p99 summaries.
+//! p50–p99.99 summaries.
 //!
 //! Counters reuse [`locksim_engine::stats::Counters`] (the type every
 //! backend already reports), so the registry slots into the existing
-//! `report_counters()` flow; histograms reuse the engine's log-scaled
-//! [`Histogram`]. A [`MetricsSnapshot`] is an owned, deterministic rendering
-//! of both — used by the harness for its metrics tables and by the golden
-//! determinism tests, which compare snapshots byte-for-byte.
+//! `report_counters()` flow; histograms pair the engine's coarse log-scaled
+//! [`Histogram`] (kept for back-compat with its bucket semantics) with a
+//! fine-grained [`QuantileSketch`] that bounds relative quantile error and
+//! extends the readout into the p99.9/p99.99 tail. A [`MetricsSnapshot`]
+//! is an owned, deterministic rendering of all of it — used by the harness
+//! for its metrics tables, by the run-manifest ledger (which embeds the
+//! serialized sketches), and by the golden determinism tests, which compare
+//! snapshots byte-for-byte.
 
 use std::collections::BTreeMap;
 
 use locksim_engine::stats::{Counters, Histogram};
 
+use crate::sketch::{QuantileSketch, TailSummary};
+
 /// A named latency histogram summarised by count and approximate quantiles.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHist {
     hist: Histogram,
+    sketch: QuantileSketch,
 }
 
 impl LatencyHist {
@@ -23,12 +30,14 @@ impl LatencyHist {
     pub fn new() -> Self {
         LatencyHist {
             hist: Histogram::new(),
+            sketch: QuantileSketch::new(),
         }
     }
 
     /// Records one latency sample (in cycles).
     pub fn observe(&mut self, cycles: u64) {
         self.hist.add(cycles);
+        self.sketch.add(cycles);
     }
 
     /// Number of samples.
@@ -36,7 +45,9 @@ impl LatencyHist {
         self.hist.count()
     }
 
-    /// Approximate quantile (bucket low bound); `None` when empty.
+    /// Approximate quantile from the coarse power-of-two histogram (bucket
+    /// low bound); `None` when empty. Kept for the order-of-magnitude
+    /// tables; tail readouts use [`LatencyHist::tail_summary`].
     pub fn quantile(&self, q: f64) -> Option<u64> {
         self.hist.quantile(q)
     }
@@ -44,6 +55,16 @@ impl LatencyHist {
     /// The underlying log-scaled histogram.
     pub fn histogram(&self) -> &Histogram {
         &self.hist
+    }
+
+    /// The fine-grained quantile sketch (bounded relative error).
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
+    /// The standard p50–p99.99 tail readout, from the sketch.
+    pub fn tail_summary(&self) -> TailSummary {
+        self.sketch.tail_summary()
     }
 }
 
@@ -112,41 +133,68 @@ impl MetricsRegistry {
         let hists = self
             .hists
             .iter()
-            .map(|(&name, h)| HistSummary {
-                name,
-                count: h.count(),
-                p50: h.quantile(0.50).unwrap_or(0),
-                p95: h.quantile(0.95).unwrap_or(0),
-                p99: h.quantile(0.99).unwrap_or(0),
+            .map(|(&name, h)| {
+                let t = h.tail_summary();
+                HistSummary {
+                    name,
+                    count: h.count(),
+                    p50: t.p50,
+                    p95: h.quantile(0.95).unwrap_or(0),
+                    p99: t.p99,
+                    p999: t.p999,
+                    p9999: t.p9999,
+                    max: t.max,
+                }
             })
             .collect();
-        MetricsSnapshot { counters, hists }
+        let sketches = self
+            .hists
+            .iter()
+            .map(|(&name, h)| (name.to_string(), h.sketch().to_text()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            hists,
+            sketches,
+        }
     }
 }
 
-/// Quantile summary of one named histogram.
+/// Quantile summary of one named histogram. `p95` keeps the coarse
+/// power-of-two histogram's bucket semantics (legacy tables depend on it);
+/// the other quantiles come from the fine-grained sketch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistSummary {
     /// Histogram name.
     pub name: &'static str,
     /// Number of samples.
     pub count: u64,
-    /// Median (bucket low bound).
+    /// Median (sketch, ≤3.1% relative error).
     pub p50: u64,
-    /// 95th percentile (bucket low bound).
+    /// 95th percentile (power-of-two bucket low bound).
     pub p95: u64,
-    /// 99th percentile (bucket low bound).
+    /// 99th percentile (sketch).
     pub p99: u64,
+    /// 99.9th percentile (sketch).
+    pub p999: u64,
+    /// 99.99th percentile (sketch).
+    pub p9999: u64,
+    /// Largest sample (exact).
+    pub max: u64,
 }
 
-/// Owned, deterministic end-of-run summary: all counters (name order) and
-/// all histogram quantiles.
+/// Owned, deterministic end-of-run summary: all counters (name order), all
+/// histogram quantiles, and the serialized quantile sketches behind them
+/// (the run-manifest ledger embeds these so dashboards can re-merge and
+/// re-quantile across runs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Merged counters, iterated in name order.
     pub counters: Counters,
     /// Histogram summaries, in name order.
     pub hists: Vec<HistSummary>,
+    /// `(name, qsketch-v1 text)` for each histogram, in name order.
+    pub sketches: Vec<(String, String)>,
 }
 
 impl MetricsSnapshot {
@@ -159,8 +207,8 @@ impl MetricsSnapshot {
         }
         for h in &self.hists {
             out.push_str(&format!(
-                "hist {} count {} p50 {} p95 {} p99 {}\n",
-                h.name, h.count, h.p50, h.p95, h.p99
+                "hist {} count {} p50 {} p95 {} p99 {} p999 {} p9999 {} max {}\n",
+                h.name, h.count, h.p50, h.p95, h.p99, h.p999, h.p9999, h.max
             ));
         }
         out
@@ -214,9 +262,32 @@ mod tests {
         let r = snap.render();
         assert_eq!(
             r,
-            "counter a 1\ncounter b 5\ncounter c 1\nhist lat count 1 p50 16 p95 16 p99 16\n"
+            "counter a 1\ncounter b 5\ncounter c 1\n\
+             hist lat count 1 p50 16 p95 16 p99 16 p999 16 p9999 16 max 16\n"
         );
         // Identical input → identical rendering.
         assert_eq!(r, m.snapshot([&backend]).render());
+        // The snapshot carries the serialized sketch for the ledger.
+        assert_eq!(snap.sketches.len(), 1);
+        assert_eq!(snap.sketches[0].0, "lat");
+        let parsed = crate::sketch::QuantileSketch::from_text(&snap.sketches[0].1).unwrap();
+        assert_eq!(parsed.count(), 1);
+        assert_eq!(parsed.max(), Some(16));
+    }
+
+    #[test]
+    fn snapshot_tail_quantiles_use_sketch_resolution() {
+        let mut m = MetricsRegistry::new();
+        for v in 1..=10_000u64 {
+            m.observe("lat", v);
+        }
+        let snap = m.snapshot([]);
+        let h = &snap.hists[0];
+        // The coarse histogram would round p50 down to 4096; the sketch
+        // stays within 1/32 of the true 5000.
+        assert!(h.p50 >= 4992 && h.p50 <= 5000, "p50={}", h.p50);
+        assert!(h.p999 >= 9900 && h.p999 <= 9990, "p999={}", h.p999);
+        assert_eq!(h.max, 10_000);
+        assert!(h.p50 <= h.p99 && h.p99 <= h.p999 && h.p999 <= h.p9999 && h.p9999 <= h.max);
     }
 }

@@ -1,0 +1,6 @@
+//! `report`: aggregates `results/runs/` manifests and `BENCH_*.json`
+//! baselines into one self-contained HTML dashboard.
+
+fn main() {
+    locksim::report::cli_main();
+}

@@ -51,6 +51,7 @@ pub use locksim_core as core;
 pub use locksim_engine as engine;
 pub use locksim_harness as harness;
 pub use locksim_machine as machine;
+pub use locksim_report as report;
 pub use locksim_ssb as ssb;
 pub use locksim_stm as stm;
 pub use locksim_swlocks as swlocks;
