@@ -123,13 +123,15 @@ impl CacheCtrl {
         }
     }
 
-    /// Handles a message from the directory, returning follow-up actions.
+    /// Handles a message from the directory, pushing follow-up actions
+    /// into `out` (a caller-owned scratch vector, so the per-message hot
+    /// path allocates nothing).
     ///
     /// # Panics
     ///
     /// Panics on protocol violations (e.g. data arriving with no pending
     /// request), which indicate a simulator bug.
-    pub fn handle(&mut self, line: LineAddr, msg: DirToCache) -> Vec<CacheAction> {
+    pub fn handle(&mut self, line: LineAddr, msg: DirToCache, out: &mut Vec<CacheAction>) {
         let _prof = locksim_trace::prof::span("coherence/cache_handle");
         let entry = self.lines.entry(line).or_default();
         match msg {
@@ -155,7 +157,7 @@ impl CacheCtrl {
                         CacheState::S
                     };
                 }
-                vec![CacheAction::CpuDone]
+                out.push(CacheAction::CpuDone);
             }
             DirToCache::DataM => {
                 let op = entry
@@ -164,7 +166,7 @@ impl CacheCtrl {
                     .expect("DataM with no pending operation");
                 debug_assert!(op.needs_ownership());
                 entry.state = CacheState::M;
-                let mut out = vec![CacheAction::CpuDone];
+                out.push(CacheAction::CpuDone);
                 match entry.deferred.take() {
                     Some(DirToCache::Inv) => {
                         entry.state = CacheState::I;
@@ -179,7 +181,6 @@ impl CacheCtrl {
                     Some(other) => unreachable!("deferred {other:?}"),
                     None => {}
                 }
-                out
             }
             DirToCache::Inv => {
                 if entry.state == CacheState::I
@@ -188,7 +189,7 @@ impl CacheCtrl {
                     // Overtook our DataM: apply after the data arrives.
                     debug_assert!(entry.deferred.is_none());
                     entry.deferred = Some(DirToCache::Inv);
-                    return Vec::new();
+                    return;
                 }
                 let dirty = entry.state == CacheState::M;
                 if entry.state == CacheState::I && entry.pending == Some(CpuOp::Load) {
@@ -199,10 +200,8 @@ impl CacheCtrl {
                 // directory) stays pending: the directory will serve it
                 // after the current transaction, and the eventual DataM
                 // completes it.
-                vec![
-                    CacheAction::Send(CacheToDir::InvAck { dirty }),
-                    CacheAction::Invalidated,
-                ]
+                out.push(CacheAction::Send(CacheToDir::InvAck { dirty }));
+                out.push(CacheAction::Invalidated);
             }
             DirToCache::Downgrade => {
                 if entry.state == CacheState::I
@@ -210,7 +209,7 @@ impl CacheCtrl {
                 {
                     debug_assert!(entry.deferred.is_none());
                     entry.deferred = Some(DirToCache::Downgrade);
-                    return Vec::new();
+                    return;
                 }
                 let dirty = entry.state == CacheState::M;
                 debug_assert!(
@@ -219,12 +218,18 @@ impl CacheCtrl {
                     entry.state
                 );
                 entry.state = CacheState::S;
-                vec![
-                    CacheAction::Send(CacheToDir::DowngradeAck { dirty }),
-                    CacheAction::Downgraded,
-                ]
+                out.push(CacheAction::Send(CacheToDir::DowngradeAck { dirty }));
+                out.push(CacheAction::Downgraded);
             }
         }
+    }
+
+    /// Vec-returning [`CacheCtrl::handle`] wrapper for tests.
+    #[cfg(test)]
+    fn handle_v(&mut self, line: LineAddr, msg: DirToCache) -> Vec<CacheAction> {
+        let mut out = Vec::new();
+        self.handle(line, msg, &mut out);
+        out
     }
 }
 
@@ -258,13 +263,13 @@ mod tests {
     fn data_s_completes_load_in_s_or_e() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Load);
-        let acts = c.handle(L, DirToCache::DataS { exclusive: false });
+        let acts = c.handle_v(L, DirToCache::DataS { exclusive: false });
         assert_eq!(acts, vec![CacheAction::CpuDone]);
         assert_eq!(c.state(L), CacheState::S);
 
         let mut c = cache();
         c.cpu_op(L, CpuOp::Load);
-        c.handle(L, DirToCache::DataS { exclusive: true });
+        c.handle_v(L, DirToCache::DataS { exclusive: true });
         assert_eq!(c.state(L), CacheState::E);
     }
 
@@ -272,7 +277,7 @@ mod tests {
     fn subsequent_load_hits() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Load);
-        c.handle(L, DirToCache::DataS { exclusive: false });
+        c.handle_v(L, DirToCache::DataS { exclusive: false });
         assert_eq!(c.cpu_op(L, CpuOp::Load), CacheOpResult::Hit);
         assert_eq!(c.hit_miss(), (1, 1));
     }
@@ -281,7 +286,7 @@ mod tests {
     fn e_state_silently_upgrades_on_store() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Load);
-        c.handle(L, DirToCache::DataS { exclusive: true });
+        c.handle_v(L, DirToCache::DataS { exclusive: true });
         assert_eq!(c.cpu_op(L, CpuOp::Store), CacheOpResult::Hit);
         assert_eq!(c.state(L), CacheState::M);
     }
@@ -290,9 +295,9 @@ mod tests {
     fn s_state_store_needs_upgrade() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Load);
-        c.handle(L, DirToCache::DataS { exclusive: false });
+        c.handle_v(L, DirToCache::DataS { exclusive: false });
         assert_eq!(c.cpu_op(L, CpuOp::Rmw), CacheOpResult::Miss(ReqKind::GetM));
-        c.handle(L, DirToCache::DataM);
+        c.handle_v(L, DirToCache::DataM);
         assert_eq!(c.state(L), CacheState::M);
     }
 
@@ -300,8 +305,8 @@ mod tests {
     fn inv_from_m_acks_dirty_and_reports() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Store);
-        c.handle(L, DirToCache::DataM);
-        let acts = c.handle(L, DirToCache::Inv);
+        c.handle_v(L, DirToCache::DataM);
+        let acts = c.handle_v(L, DirToCache::Inv);
         assert_eq!(
             acts,
             vec![
@@ -316,8 +321,8 @@ mod tests {
     fn inv_from_s_acks_clean() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Load);
-        c.handle(L, DirToCache::DataS { exclusive: false });
-        let acts = c.handle(L, DirToCache::Inv);
+        c.handle_v(L, DirToCache::DataS { exclusive: false });
+        let acts = c.handle_v(L, DirToCache::Inv);
         assert_eq!(
             acts[0],
             CacheAction::Send(CacheToDir::InvAck { dirty: false })
@@ -328,8 +333,8 @@ mod tests {
     fn downgrade_from_m_sends_dirty_data() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Store);
-        c.handle(L, DirToCache::DataM);
-        let acts = c.handle(L, DirToCache::Downgrade);
+        c.handle_v(L, DirToCache::DataM);
+        let acts = c.handle_v(L, DirToCache::Downgrade);
         assert_eq!(
             acts,
             vec![
@@ -344,17 +349,17 @@ mod tests {
     fn inv_while_upgrade_pending_keeps_request_pending() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Load);
-        c.handle(L, DirToCache::DataS { exclusive: false });
+        c.handle_v(L, DirToCache::DataS { exclusive: false });
         // Upgrade queued at the directory...
         assert_eq!(
             c.cpu_op(L, CpuOp::Store),
             CacheOpResult::Miss(ReqKind::GetM)
         );
         // ...but a competing writer wins first.
-        c.handle(L, DirToCache::Inv);
+        c.handle_v(L, DirToCache::Inv);
         assert_eq!(c.state(L), CacheState::I);
         // Our DataM still completes the stalled store.
-        let acts = c.handle(L, DirToCache::DataM);
+        let acts = c.handle_v(L, DirToCache::DataM);
         assert_eq!(acts, vec![CacheAction::CpuDone]);
         assert_eq!(c.state(L), CacheState::M);
     }
@@ -365,10 +370,10 @@ mod tests {
         c.cpu_op(L, CpuOp::Rmw);
         // The Inv for the *next* transaction overtakes our DataM.
         assert!(
-            c.handle(L, DirToCache::Inv).is_empty(),
+            c.handle_v(L, DirToCache::Inv).is_empty(),
             "ack must wait for data"
         );
-        let acts = c.handle(L, DirToCache::DataM);
+        let acts = c.handle_v(L, DirToCache::DataM);
         assert_eq!(
             acts,
             vec![
@@ -384,8 +389,8 @@ mod tests {
     fn downgrade_overtaking_datam_is_deferred() {
         let mut c = cache();
         c.cpu_op(L, CpuOp::Store);
-        assert!(c.handle(L, DirToCache::Downgrade).is_empty());
-        let acts = c.handle(L, DirToCache::DataM);
+        assert!(c.handle_v(L, DirToCache::Downgrade).is_empty());
+        let acts = c.handle_v(L, DirToCache::DataM);
         assert_eq!(
             acts,
             vec![
@@ -402,13 +407,13 @@ mod tests {
         let mut c = cache();
         // Load misses; before the DataS arrives, a writer's Inv passes it.
         c.cpu_op(L, CpuOp::Load);
-        let acts = c.handle(L, DirToCache::Inv);
+        let acts = c.handle_v(L, DirToCache::Inv);
         assert_eq!(
             acts[0],
             CacheAction::Send(CacheToDir::InvAck { dirty: false })
         );
         // The late data completes the load but is not cached.
-        let acts = c.handle(L, DirToCache::DataS { exclusive: false });
+        let acts = c.handle_v(L, DirToCache::DataS { exclusive: false });
         assert_eq!(acts, vec![CacheAction::CpuDone]);
         assert_eq!(c.state(L), CacheState::I, "stale fill must not be cached");
     }
@@ -430,7 +435,7 @@ mod tests {
             c.cpu_op(l2, CpuOp::Store),
             CacheOpResult::Miss(ReqKind::GetM)
         );
-        c.handle(l2, DirToCache::DataM);
+        c.handle_v(l2, DirToCache::DataM);
         assert_eq!(c.state(l2), CacheState::M);
         assert_eq!(c.state(L), CacheState::I);
     }

@@ -98,13 +98,21 @@ impl DirCtrl {
         }
     }
 
-    /// Handles a cache→directory message, returning responses to send.
+    /// Handles a cache→directory message, pushing responses to send into
+    /// `out` (a caller-owned scratch vector, so the per-message hot path
+    /// allocates nothing).
     ///
     /// # Panics
     ///
     /// Panics on protocol violations (acks outside a transaction, requests
     /// from the current owner, ...) — these indicate simulator bugs.
-    pub fn handle(&mut self, line: LineAddr, from: CacheId, msg: CacheToDir) -> Vec<DirAction> {
+    pub fn handle(
+        &mut self,
+        line: LineAddr,
+        from: CacheId,
+        msg: CacheToDir,
+        out: &mut Vec<DirAction>,
+    ) {
         let _prof = locksim_trace::prof::span("coherence/dir_handle");
         match msg {
             CacheToDir::Req(kind) => {
@@ -113,18 +121,25 @@ impl DirCtrl {
                     self.counters.incr("dir_queued");
                 }
                 entry.queue.push_back((from, kind));
-                self.pump(line)
+                self.pump(line, out);
             }
             CacheToDir::InvAck { dirty } | CacheToDir::DowngradeAck { dirty } => {
-                self.ack(line, dirty)
+                self.ack(line, dirty, out);
             }
         }
     }
 
+    /// Vec-returning [`DirCtrl::handle`] wrapper for tests.
+    #[cfg(test)]
+    fn handle_v(&mut self, line: LineAddr, from: CacheId, msg: CacheToDir) -> Vec<DirAction> {
+        let mut out = Vec::new();
+        self.handle(line, from, msg, &mut out);
+        out
+    }
+
     /// Serves queued requests in order until one starts a multi-step
     /// transaction (goes busy) or the queue empties.
-    fn pump(&mut self, line: LineAddr) -> Vec<DirAction> {
-        let mut out = Vec::new();
+    fn pump(&mut self, line: LineAddr, out: &mut Vec<DirAction>) {
         loop {
             let entry = self.lines.get_mut(&line).expect("line exists");
             if entry.busy.is_some() {
@@ -133,12 +148,11 @@ impl DirCtrl {
             let Some((from, kind)) = entry.queue.pop_front() else {
                 break;
             };
-            out.extend(self.start(line, from, kind));
+            self.start(line, from, kind, out);
         }
-        out
     }
 
-    fn start(&mut self, line: LineAddr, from: CacheId, kind: ReqKind) -> Vec<DirAction> {
+    fn start(&mut self, line: LineAddr, from: CacheId, kind: ReqKind, out: &mut Vec<DirAction>) {
         let entry = self.lines.get_mut(&line).expect("line exists");
         debug_assert!(entry.busy.is_none());
         match kind {
@@ -148,63 +162,66 @@ impl DirCtrl {
         match (&mut entry.state, kind) {
             (DirState::Uncached, ReqKind::GetS) => {
                 entry.state = DirState::Excl(from);
-                vec![DirAction {
+                out.push(DirAction {
                     to: from,
                     msg: DirToCache::DataS { exclusive: true },
                     carries_data: true,
                     dram: true,
-                }]
+                });
             }
             (DirState::Uncached, ReqKind::GetM) => {
                 entry.state = DirState::Excl(from);
-                vec![DirAction {
+                out.push(DirAction {
                     to: from,
                     msg: DirToCache::DataM,
                     carries_data: true,
                     dram: true,
-                }]
+                });
             }
             (DirState::Shared(set), ReqKind::GetS) => {
                 debug_assert!(!set.contains(&from), "sharer re-requesting GetS");
                 set.insert(from);
-                vec![DirAction {
+                out.push(DirAction {
                     to: from,
                     msg: DirToCache::DataS { exclusive: false },
                     carries_data: true,
                     dram: true,
-                }]
+                });
             }
             (DirState::Shared(set), ReqKind::GetM) => {
                 let req_has_copy = set.contains(&from);
-                let targets: Vec<CacheId> = set.iter().copied().filter(|&c| c != from).collect();
-                if targets.is_empty() {
+                let others = set.iter().filter(|&&c| c != from).count();
+                if others == 0 {
                     // Sole-sharer upgrade: grant permissions immediately.
                     entry.state = DirState::Excl(from);
-                    return vec![DirAction {
+                    out.push(DirAction {
                         to: from,
                         msg: DirToCache::DataM,
                         carries_data: !req_has_copy,
                         dram: !req_has_copy,
-                    }];
+                    });
+                    return;
                 }
-                self.counters.add("dir_invs", targets.len() as u64);
+                self.counters.add("dir_invs", others as u64);
+                out.extend(
+                    set.iter()
+                        .copied()
+                        .filter(|&c| c != from)
+                        .map(|to| DirAction {
+                            to,
+                            msg: DirToCache::Inv,
+                            carries_data: false,
+                            dram: false,
+                        }),
+                );
                 entry.busy = Some(Transaction {
                     requestor: from,
                     kind,
-                    acks_left: targets.len() as u32,
+                    acks_left: others as u32,
                     dirty_seen: false,
                     req_has_copy,
                     prev_owner: None,
                 });
-                targets
-                    .into_iter()
-                    .map(|to| DirAction {
-                        to,
-                        msg: DirToCache::Inv,
-                        carries_data: false,
-                        dram: false,
-                    })
-                    .collect()
             }
             (DirState::Excl(owner), kind) => {
                 let owner = *owner;
@@ -222,28 +239,27 @@ impl DirCtrl {
                     req_has_copy: false,
                     prev_owner: Some(owner),
                 });
-                vec![DirAction {
+                out.push(DirAction {
                     to: owner,
                     msg,
                     carries_data: false,
                     dram: false,
-                }]
+                });
             }
         }
     }
 
-    fn ack(&mut self, line: LineAddr, dirty: bool) -> Vec<DirAction> {
+    fn ack(&mut self, line: LineAddr, dirty: bool, out: &mut Vec<DirAction>) {
         let entry = self.lines.get_mut(&line).expect("ack for unknown line");
         let tx = entry.busy.as_mut().expect("ack outside transaction");
         debug_assert!(tx.acks_left > 0);
         tx.acks_left -= 1;
         tx.dirty_seen |= dirty;
         if tx.acks_left > 0 {
-            return Vec::new();
+            return;
         }
         let tx = entry.busy.take().expect("just observed");
         // Complete the transaction.
-        let mut out = Vec::new();
         match tx.kind {
             ReqKind::GetS => {
                 let mut set = BTreeSet::new();
@@ -272,8 +288,7 @@ impl DirCtrl {
             }
         }
         // Serve queued requests until one goes busy.
-        out.extend(self.pump(line));
-        out
+        self.pump(line, out);
     }
 }
 
@@ -293,7 +308,7 @@ mod tests {
     #[test]
     fn cold_gets_grants_exclusive() {
         let mut d = dir();
-        let out = d.handle(L, C0, CacheToDir::Req(ReqKind::GetS));
+        let out = d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetS));
         assert_eq!(
             out,
             vec![DirAction {
@@ -309,7 +324,7 @@ mod tests {
     #[test]
     fn cold_getm_grants_m() {
         let mut d = dir();
-        let out = d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
+        let out = d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
         assert_eq!(out[0].msg, DirToCache::DataM);
         assert!(out[0].dram);
     }
@@ -317,8 +332,8 @@ mod tests {
     #[test]
     fn gets_on_exclusive_downgrades_owner() {
         let mut d = dir();
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
-        let out = d.handle(L, C1, CacheToDir::Req(ReqKind::GetS));
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
+        let out = d.handle_v(L, C1, CacheToDir::Req(ReqKind::GetS));
         assert_eq!(
             out,
             vec![DirAction {
@@ -329,7 +344,7 @@ mod tests {
             }]
         );
         // Owner acks with dirty data: requestor gets it without DRAM.
-        let out = d.handle(L, C0, CacheToDir::DowngradeAck { dirty: true });
+        let out = d.handle_v(L, C0, CacheToDir::DowngradeAck { dirty: true });
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].to, C1);
         assert_eq!(out[0].msg, DirToCache::DataS { exclusive: false });
@@ -341,22 +356,22 @@ mod tests {
     fn getm_on_shared_invalidates_all_other_sharers() {
         let mut d = dir();
         // Build 3 sharers: C0 exclusive-clean, downgraded by C1's GetS, then C2 joins.
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetS));
-        d.handle(L, C1, CacheToDir::Req(ReqKind::GetS));
-        d.handle(L, C0, CacheToDir::DowngradeAck { dirty: false });
-        d.handle(L, C2, CacheToDir::Req(ReqKind::GetS));
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetS));
+        d.handle_v(L, C1, CacheToDir::Req(ReqKind::GetS));
+        d.handle_v(L, C0, CacheToDir::DowngradeAck { dirty: false });
+        d.handle_v(L, C2, CacheToDir::Req(ReqKind::GetS));
         assert_eq!(d.holders(L), 3);
         // C0 upgrades: C1 and C2 must be invalidated.
-        let out = d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
+        let out = d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
         let targets: Vec<CacheId> = out.iter().map(|a| a.to).collect();
         assert_eq!(targets, vec![C1, C2]);
         assert!(out.iter().all(|a| a.msg == DirToCache::Inv));
         // First ack: nothing yet.
         assert!(d
-            .handle(L, C1, CacheToDir::InvAck { dirty: false })
+            .handle_v(L, C1, CacheToDir::InvAck { dirty: false })
             .is_empty());
         // Second ack: upgrade grant without data (requestor held a copy).
-        let out = d.handle(L, C2, CacheToDir::InvAck { dirty: false });
+        let out = d.handle_v(L, C2, CacheToDir::InvAck { dirty: false });
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].to, C0);
         assert_eq!(out[0].msg, DirToCache::DataM);
@@ -367,13 +382,13 @@ mod tests {
     #[test]
     fn sole_sharer_upgrade_is_immediate() {
         let mut d = dir();
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetS));
-        d.handle(L, C1, CacheToDir::Req(ReqKind::GetS));
-        d.handle(L, C0, CacheToDir::DowngradeAck { dirty: false });
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetS));
+        d.handle_v(L, C1, CacheToDir::Req(ReqKind::GetS));
+        d.handle_v(L, C0, CacheToDir::DowngradeAck { dirty: false });
         // C0 and C1 share; C1 invalidates C0 via GetM, then C1 is sole owner.
-        let out = d.handle(L, C1, CacheToDir::Req(ReqKind::GetM));
+        let out = d.handle_v(L, C1, CacheToDir::Req(ReqKind::GetM));
         assert_eq!(out[0].to, C0);
-        let out = d.handle(L, C0, CacheToDir::InvAck { dirty: false });
+        let out = d.handle_v(L, C0, CacheToDir::InvAck { dirty: false });
         assert_eq!(out[0].msg, DirToCache::DataM);
         assert!(!out[0].carries_data, "upgrader already had the data");
     }
@@ -381,15 +396,15 @@ mod tests {
     #[test]
     fn requests_queue_behind_transaction() {
         let mut d = dir();
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
         // C1 wants M: Inv goes to C0.
-        let out = d.handle(L, C1, CacheToDir::Req(ReqKind::GetM));
+        let out = d.handle_v(L, C1, CacheToDir::Req(ReqKind::GetM));
         assert_eq!(out[0].to, C0);
         // C2's request must queue.
-        assert!(d.handle(L, C2, CacheToDir::Req(ReqKind::GetM)).is_empty());
+        assert!(d.handle_v(L, C2, CacheToDir::Req(ReqKind::GetM)).is_empty());
         assert_eq!(d.counters().get("dir_queued"), 1);
         // C0's ack completes C1's grant AND starts C2's transaction.
-        let out = d.handle(L, C0, CacheToDir::InvAck { dirty: true });
+        let out = d.handle_v(L, C0, CacheToDir::InvAck { dirty: true });
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].to, C1);
         assert_eq!(out[0].msg, DirToCache::DataM);
@@ -397,7 +412,7 @@ mod tests {
         assert_eq!(out[1].to, C1, "C2's transaction invalidates new owner C1");
         assert_eq!(out[1].msg, DirToCache::Inv);
         // C1 acks; C2 finally gets M.
-        let out = d.handle(L, C1, CacheToDir::InvAck { dirty: true });
+        let out = d.handle_v(L, C1, CacheToDir::InvAck { dirty: true });
         assert_eq!(out[0].to, C2);
         assert_eq!(out[0].msg, DirToCache::DataM);
     }
@@ -405,9 +420,9 @@ mod tests {
     #[test]
     fn getm_on_exclusive_transfers_ownership() {
         let mut d = dir();
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
-        d.handle(L, C1, CacheToDir::Req(ReqKind::GetM));
-        let out = d.handle(L, C0, CacheToDir::InvAck { dirty: true });
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
+        d.handle_v(L, C1, CacheToDir::Req(ReqKind::GetM));
+        let out = d.handle_v(L, C0, CacheToDir::InvAck { dirty: true });
         assert_eq!(out[0].to, C1);
         assert!(out[0].carries_data);
         assert!(!out[0].dram);
@@ -418,16 +433,16 @@ mod tests {
     #[should_panic(expected = "owner re-requesting")]
     fn owner_rerequest_panics() {
         let mut d = dir();
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
     }
 
     #[test]
     fn counters_track_protocol_events() {
         let mut d = dir();
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetS));
-        d.handle(L, C1, CacheToDir::Req(ReqKind::GetM));
-        d.handle(L, C0, CacheToDir::InvAck { dirty: false });
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetS));
+        d.handle_v(L, C1, CacheToDir::Req(ReqKind::GetM));
+        d.handle_v(L, C0, CacheToDir::InvAck { dirty: false });
         assert_eq!(d.counters().get("dir_gets"), 1);
         assert_eq!(d.counters().get("dir_getm"), 1);
         assert_eq!(d.counters().get("dir_invs"), 1);
@@ -437,8 +452,8 @@ mod tests {
     fn independent_lines_have_independent_transactions() {
         let mut d = dir();
         let l2 = LineAddr(0x81);
-        d.handle(L, C0, CacheToDir::Req(ReqKind::GetM));
-        let out = d.handle(l2, C1, CacheToDir::Req(ReqKind::GetM));
+        d.handle_v(L, C0, CacheToDir::Req(ReqKind::GetM));
+        let out = d.handle_v(l2, C1, CacheToDir::Req(ReqKind::GetM));
         assert_eq!(out[0].to, C1, "no interference from busy line L");
     }
 }

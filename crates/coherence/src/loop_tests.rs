@@ -70,14 +70,18 @@ impl Loop {
         };
         match msg {
             Wire::ToDir(line, from, m) => {
-                for act in self.dir.handle(line, from, m) {
+                let mut acts = Vec::new();
+                self.dir.handle(line, from, m, &mut acts);
+                for act in acts {
                     let DirAction { to, msg, .. } = act;
                     self.wire.push_back(Wire::ToCache(line, to, msg));
                 }
             }
             Wire::ToCache(line, to, m) => {
                 let idx = to.0 as usize;
-                for act in self.caches[idx].handle(line, m) {
+                let mut acts = Vec::new();
+                self.caches[idx].handle(line, m, &mut acts);
+                for act in acts {
                     match act {
                         CacheAction::Send(m) => self.wire.push_back(Wire::ToDir(line, to, m)),
                         CacheAction::CpuDone => {

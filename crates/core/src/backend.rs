@@ -2,12 +2,13 @@
 //! per-core LCU tables and per-memory-controller LRTs into the machine's
 //! event loop.
 
-use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 
 use locksim_engine::stats::Counters;
 use locksim_engine::Cycles;
-use locksim_machine::{Addr, BackendFault, CoreId, Ep, LockBackend, Mach, Mode, ThreadId};
+use locksim_machine::{
+    Addr, BackendFault, CoreId, Ep, LockBackend, Mach, Mode, ThreadId, WirePayload,
+};
 use locksim_topo::MsgClass;
 
 use crate::entry::{EntryKind, Lcu, Status};
@@ -146,7 +147,7 @@ impl LcuBackend {
             Ep::Mem(home),
             MsgClass::Control,
             extra,
-            Box::new(msg),
+            msg,
         );
     }
 
@@ -167,7 +168,7 @@ impl LcuBackend {
             Ep::Core(to_core),
             MsgClass::Control,
             extra,
-            Box::new(wrapped),
+            wrapped,
         );
     }
 
@@ -184,7 +185,7 @@ impl LcuBackend {
                 Ep::Mem(home),
                 MsgClass::Control,
                 0,
-                Box::new(LoopBack(wrapped)),
+                LoopBack(wrapped),
             );
             return;
         }
@@ -193,7 +194,7 @@ impl LcuBackend {
             Ep::Core(to),
             MsgClass::Control,
             extra,
-            Box::new(wrapped),
+            wrapped,
         );
     }
 
@@ -1541,7 +1542,7 @@ impl LockBackend for LcuBackend {
         m.complete_release_in(t, lcu_lat);
     }
 
-    fn on_wire(&mut self, m: &mut Mach, payload: Box<dyn Any>) {
+    fn on_wire(&mut self, m: &mut Mach, payload: WirePayload) {
         self.ensure_init(m);
         let payload = match payload.downcast::<LoopBack>() {
             Ok(lb) => {
@@ -1559,7 +1560,7 @@ impl LockBackend for LcuBackend {
             }
             Err(p) => p,
         };
-        let msg = *payload.downcast::<Msg>().expect("unknown wire payload");
+        let msg = payload.downcast::<Msg>().expect("unknown wire payload");
         let mem = m.home_of(msg.addr());
         self.lrt_handle(m, mem, msg);
     }

@@ -6,8 +6,9 @@
 //! bars), so this module provides [`Summary`] for cross-run aggregation and
 //! [`Running`] for intra-run accumulation.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Incrementally computed mean/variance/min/max over a stream of samples
 /// (Welford's algorithm).
@@ -193,11 +194,22 @@ impl fmt::Display for Summary {
 /// several orders of magnitude).
 ///
 /// Buckets are powers of two: bucket *k* holds samples in `[2^k, 2^(k+1))`,
-/// with bucket 0 also holding zero.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// with bucket 0 also holding zero. Bucket storage is a fixed array so the
+/// per-sample cost on hot simulation paths is one shift and one add, with no
+/// tree walk or allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: BTreeMap<u32, u64>,
+    buckets: [u64; 64],
     total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            total: 0,
+        }
+    }
 }
 
 impl Histogram {
@@ -207,13 +219,14 @@ impl Histogram {
     }
 
     /// Records one sample.
+    #[inline]
     pub fn add(&mut self, value: u64) {
         let bucket = if value == 0 {
             0
         } else {
             64 - value.leading_zeros() - 1
         };
-        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.buckets[bucket as usize] += 1;
         self.total += 1;
     }
 
@@ -222,9 +235,14 @@ impl Histogram {
         self.total
     }
 
-    /// Iterates `(bucket_low_bound, count)` in increasing order.
+    /// Iterates `(bucket_low_bound, count)` over non-empty buckets in
+    /// increasing order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets.iter().map(|(&k, &c)| (1u64 << k, c))
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (1u64 << k, c))
     }
 
     /// Approximate quantile (returns the low bound of the bucket containing
@@ -235,23 +253,70 @@ impl Histogram {
         }
         let target = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0;
-        for (&k, &c) in &self.buckets {
+        for (k, c) in self.iter() {
             seen += c;
             if seen >= target {
-                return Some(1u64 << k);
+                return Some(k);
             }
         }
-        self.buckets.keys().next_back().map(|&k| 1u64 << k)
+        self.iter().last().map(|(k, _)| k)
     }
 }
+
+/// A fast non-cryptographic hasher (the FxHash multiply-rotate scheme) for
+/// `&'static str` counter keys. Counter bumps sit on the per-event hot path
+/// of the simulator, where SipHash and ordered-map string compares both
+/// showed up in the self-profiler.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.mix(b as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A named bundle of monotonically increasing event counters.
 ///
 /// Components count protocol events (messages sent, retries, grants,
 /// overflows, ...) into a `Counters` and the harness folds them into reports.
+/// Storage is an unordered fast-hash map (bumps are hot-path); iteration
+/// sorts by name so every rendered report stays deterministic.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
-    map: BTreeMap<&'static str, u64>,
+    map: HashMap<&'static str, u64, FxBuildHasher>,
 }
 
 impl Counters {
@@ -261,11 +326,13 @@ impl Counters {
     }
 
     /// Adds `n` to counter `name`, creating it at zero if absent.
+    #[inline]
     pub fn add(&mut self, name: &'static str, n: u64) {
         *self.map.entry(name).or_insert(0) += n;
     }
 
     /// Increments counter `name` by one.
+    #[inline]
     pub fn incr(&mut self, name: &'static str) {
         self.add(name, 1);
     }
@@ -277,12 +344,15 @@ impl Counters {
 
     /// Iterates `(name, value)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.map.iter().map(|(&k, &v)| (k, v))
+        let mut entries: Vec<(&'static str, u64)> =
+            self.map.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        entries.into_iter()
     }
 
     /// Folds another bundle into this one.
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in other.iter() {
+        for (&k, &v) in &other.map {
             self.add(k, v);
         }
     }

@@ -123,13 +123,19 @@ pub struct BenchReport {
 /// Runs one scenario body under the measurement bracket: wall clock plus
 /// allocation deltas, with the peak-live waterline reset so `peak_bytes`
 /// is per-phase.
+///
+/// Wall clock covers the whole body, but the allocation numbers come from
+/// the run-phase window the simulator's event loop brackets itself with
+/// ([`alloc::take_run_phase`]): world construction, metrics snapshotting
+/// and report assembly are excluded, so the counters measure per-event
+/// churn only.
 fn measure(name: &str, body: impl FnOnce() -> SimStats) -> ScenarioResult {
     alloc::reset_peak();
-    let before = alloc::snapshot();
+    let _ = alloc::take_run_phase();
     let t0 = Instant::now();
     let sim = body();
     let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
-    let after = alloc::snapshot().since(&before);
+    let after = alloc::take_run_phase().unwrap_or_default();
     ScenarioResult {
         name: name.to_string(),
         wall_ms,

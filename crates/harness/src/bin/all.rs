@@ -1,21 +1,39 @@
-//! Regenerates every figure and table.
-type Fig = fn() -> Vec<locksim_harness::Table>;
+//! Regenerates every figure and table. `--jobs <n>` runs figures on
+//! worker threads (0 = one per host core); outputs stay byte-identical.
+use locksim_harness::obs;
 
 fn main() {
-    let figs: &[(&str, Fig)] = &[
-        ("fig1", locksim_harness::figs::fig1),
-        ("fig8", locksim_harness::figs::fig8),
-        ("fig9", locksim_harness::figs::fig9),
-        ("fig10", locksim_harness::figs::fig10),
-        ("fig11", locksim_harness::figs::fig11),
-        ("fig12", locksim_harness::figs::fig12),
-        ("fig13", locksim_harness::figs::fig13),
-        ("fairness", locksim_harness::figs::fairness),
-        ("messages", locksim_harness::figs::messages),
-        ("summary", locksim_harness::figs::summary),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = [
+        obs::BinFlag {
+            name: "--quick",
+            takes_value: false,
+        },
+        obs::BinFlag {
+            name: "--jobs",
+            takes_value: true,
+        },
     ];
-    for (name, f) in figs {
-        eprintln!("== regenerating {name} ==");
-        locksim_harness::run_bin(name, f);
+    let (opts, extras) = match obs::parse_bin_cli(&args, &flags) {
+        Ok(parsed) => parsed,
+        Err(msg) => usage_exit(&msg),
+    };
+    if extras.contains_key("--quick") {
+        std::env::set_var("LOCKSIM_QUICK", "1");
     }
+    obs::apply_opts(&opts);
+    let jobs = extras
+        .get("--jobs")
+        .map(|v| locksim_harness::sweep::parse_jobs(v).unwrap_or_else(|e| usage_exit(&e)))
+        .unwrap_or(1);
+    locksim_harness::run_all(jobs);
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: all [--quick] [--jobs <n|0=cores>] [--trace <path>] \
+         [--trace-cap <records>] [--lockstat <path>] [--watchdog-cycles <n>] \
+         [--self-profile <path>]"
+    );
+    std::process::exit(2);
 }

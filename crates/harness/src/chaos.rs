@@ -183,57 +183,110 @@ pub struct SoakReport {
     pub seeds_run: u64,
 }
 
+/// Everything one fuzz seed produced: its verdict row, the simulated
+/// cycles it cost (soak run plus shrink re-runs), and the shrunk repro
+/// when the seed violated. A pure function of the seed and `cfg`, which is
+/// what lets the sweep runner execute seeds on any thread in any order.
+struct SeedOutcome {
+    row: ChaosRow,
+    cycles: u64,
+    shrunk: Option<ChaosScenario>,
+}
+
+/// Runs one fuzz seed end to end: generate, run with detection armed, and
+/// — on a violation — delta-debug shrink to a locally-minimal repro.
+fn soak_seed(cfg: &ChaosCfg, seed: u64) -> SeedOutcome {
+    let case = generate(seed, &cfg.fuzz);
+    let run = run_chaos(case.backend, &case.workload, seed, &case.plan, cfg.quiesce)
+        .unwrap_or_else(|e| panic!("fuzz seed {seed} generated an unrunnable case: {e}"));
+    let mut cycles = run.outcome.end_cycle;
+    let mut row = ChaosRow::from_run(
+        seed,
+        case.backend,
+        &run.outcome,
+        &run.violations,
+        run.finished,
+        case.plan.events.len(),
+    );
+    let mut shrunk = None;
+    if !row.ok() {
+        let target = row.verdict.clone();
+        let workload = case.workload;
+        let mut shrink_cycles = 0u64;
+        let res = shrink(
+            &case.plan,
+            |p| match run_chaos(case.backend, &workload, seed, p, cfg.quiesce) {
+                Ok(r) => {
+                    shrink_cycles += r.outcome.end_cycle;
+                    r.verdict == target
+                }
+                // A removal that orphaned a resume etc. — not a repro.
+                Err(_) => false,
+            },
+            cfg.shrink_budget,
+        );
+        cycles += shrink_cycles;
+        row.shrunk_events = res.plan.events.len();
+        let mut sc = ChaosScenario::from_case(&case);
+        sc.plan = res.plan;
+        sc.expect = expect_label(&target);
+        shrunk = Some(sc);
+    }
+    SeedOutcome {
+        row,
+        cycles,
+        shrunk,
+    }
+}
+
 /// Sweeps `cfg.seeds` consecutive fuzz seeds: run each generated case with
 /// detection armed, shrink every violating plan to a locally-minimal one,
 /// and collect verdict rows plus replayable shrunk scenarios.
-pub fn soak(cfg: &ChaosCfg) -> SoakReport {
+///
+/// With `jobs > 1` the seeds run on worker threads via [`crate::sweep`];
+/// the report is still byte-identical to `jobs == 1` because each seed is
+/// an isolated deterministic run and the cycle-budget cutoff is applied
+/// afterwards as a seed-order walk: seed `k`'s results (rows, repros,
+/// observability) are included iff the cumulative cycles of the included
+/// seeds before it are under the budget — exactly the sequential loop's
+/// "check budget before each seed, stop at the first overrun" rule.
+/// Seeds past the cutoff cost wall-clock but leave no trace in the output.
+pub fn soak(cfg: &ChaosCfg, jobs: usize) -> SoakReport {
+    let last = cfg.seed_start.saturating_add(cfg.seeds);
+    let n = usize::try_from(last - cfg.seed_start).expect("seed count fits in usize");
     let mut report = SoakReport {
         rows: Vec::new(),
         shrunk: Vec::new(),
         cycles: 0,
         seeds_run: 0,
     };
-    for seed in cfg.seed_start..cfg.seed_start.saturating_add(cfg.seeds) {
+    let fold = |report: &mut SoakReport, so: SeedOutcome| {
+        report.seeds_run += 1;
+        report.cycles += so.cycles;
+        if let Some(sc) = so.shrunk {
+            report.shrunk.push(sc);
+        }
+        report.rows.push(so.row);
+    };
+    if crate::sweep::effective_jobs(jobs, n) <= 1 {
+        // Sequentially the budget check can cut the sweep short before
+        // spending the cycles, not just before reporting them.
+        for i in 0..n {
+            if report.cycles >= cfg.cycle_budget {
+                break;
+            }
+            let so = soak_seed(cfg, cfg.seed_start + i as u64);
+            fold(&mut report, so);
+        }
+        return report;
+    }
+    let outs = crate::sweep::run_jobs(jobs, n, |i| soak_seed(cfg, cfg.seed_start + i as u64));
+    for out in outs {
         if report.cycles >= cfg.cycle_budget {
             break;
         }
-        let case = generate(seed, &cfg.fuzz);
-        let run = run_chaos(case.backend, &case.workload, seed, &case.plan, cfg.quiesce)
-            .unwrap_or_else(|e| panic!("fuzz seed {seed} generated an unrunnable case: {e}"));
-        report.seeds_run += 1;
-        report.cycles += run.outcome.end_cycle;
-        let mut row = ChaosRow::from_run(
-            seed,
-            case.backend,
-            &run.outcome,
-            &run.violations,
-            run.finished,
-            case.plan.events.len(),
-        );
-        if !row.ok() {
-            let target = row.verdict.clone();
-            let workload = case.workload;
-            let mut shrink_cycles = 0u64;
-            let res = shrink(
-                &case.plan,
-                |p| match run_chaos(case.backend, &workload, seed, p, cfg.quiesce) {
-                    Ok(r) => {
-                        shrink_cycles += r.outcome.end_cycle;
-                        r.verdict == target
-                    }
-                    // A removal that orphaned a resume etc. — not a repro.
-                    Err(_) => false,
-                },
-                cfg.shrink_budget,
-            );
-            report.cycles += shrink_cycles;
-            row.shrunk_events = res.plan.events.len();
-            let mut sc = ChaosScenario::from_case(&case);
-            sc.plan = res.plan;
-            sc.expect = expect_label(&target);
-            report.shrunk.push(sc);
-        }
-        report.rows.push(row);
+        let so = crate::sweep::include(out);
+        fold(&mut report, so);
     }
     report
 }
@@ -337,6 +390,10 @@ pub fn cli_main() {
             takes_value: true,
         },
         obs::BinFlag {
+            name: "--jobs",
+            takes_value: true,
+        },
+        obs::BinFlag {
             name: "--corpus-out",
             takes_value: true,
         },
@@ -370,6 +427,10 @@ pub fn cli_main() {
     num("--quiesce", &mut cfg.quiesce);
     num("--shrink-budget", &mut cfg.shrink_budget);
     num("--cycle-budget", &mut cfg.cycle_budget);
+    let jobs = extras
+        .get("--jobs")
+        .map(|v| crate::sweep::parse_jobs(v).unwrap_or_else(|e| usage_exit(&e)))
+        .unwrap_or(1);
     let csv_path = extras
         .get("--csv")
         .map(PathBuf::from)
@@ -379,7 +440,7 @@ pub fn cli_main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results/chaossim.html"));
 
-    let report = soak(&cfg);
+    let report = soak(&cfg, jobs);
     for r in &report.rows {
         obs::record_verdicts(
             &format!("chaos/{}/s{}", r.backend, r.seed),
@@ -424,8 +485,9 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: chaossim [--quick] [--seed-start <n>] [--seeds <n>] \
          [--quiesce <cycles>] [--shrink-budget <runs>] [--cycle-budget <cycles>] \
-         [--corpus-out <dir>] [--csv <path>] [--html <path>] [--trace <path>] \
-         [--trace-cap <records>] [--lockstat <path>] [--watchdog-cycles <n>]"
+         [--jobs <n|0=cores>] [--corpus-out <dir>] [--csv <path>] [--html <path>] \
+         [--trace <path>] [--trace-cap <records>] [--lockstat <path>] \
+         [--watchdog-cycles <n>]"
     );
     std::process::exit(2);
 }

@@ -209,15 +209,22 @@ pub fn run_cell_observed(
     )
 }
 
-/// Runs the full backend × fault-class matrix.
-pub fn run_matrix(cfg: &FaultsimCfg) -> Vec<MatrixCell> {
-    let mut cells = Vec::new();
-    for backend in backends() {
-        for class in FaultClass::ALL {
-            cells.push(run_cell(backend, class, cfg));
-        }
-    }
-    cells
+/// Runs the full backend × fault-class matrix. With `jobs > 1` the cells
+/// run on worker threads via [`crate::sweep`] — each cell is an isolated
+/// deterministic run, and merging every cell's observability in row-major
+/// cell order keeps the output byte-identical to `jobs == 1`.
+pub fn run_matrix(cfg: &FaultsimCfg, jobs: usize) -> Vec<MatrixCell> {
+    let grid: Vec<(BackendKind, FaultClass)> = backends()
+        .into_iter()
+        .flat_map(|b| FaultClass::ALL.into_iter().map(move |c| (b, c)))
+        .collect();
+    crate::sweep::run_jobs(jobs, grid.len(), |i| {
+        let (backend, class) = grid[i];
+        run_cell(backend, class, cfg)
+    })
+    .into_iter()
+    .map(crate::sweep::include)
+    .collect()
 }
 
 /// Renders the matrix as the bin's stdout table.
@@ -274,6 +281,10 @@ pub fn cli_main() {
             takes_value: true,
         },
         obs::BinFlag {
+            name: "--jobs",
+            takes_value: true,
+        },
+        obs::BinFlag {
             name: "--csv",
             takes_value: true,
         },
@@ -301,6 +312,10 @@ pub fn cli_main() {
             .parse()
             .unwrap_or_else(|_| usage_exit(&format!("--horizon: invalid number {v:?}")));
     }
+    let jobs = extras
+        .get("--jobs")
+        .map(|v| crate::sweep::parse_jobs(v).unwrap_or_else(|e| usage_exit(&e)))
+        .unwrap_or(1);
     let csv_path = extras
         .get("--csv")
         .map(PathBuf::from)
@@ -310,7 +325,7 @@ pub fn cli_main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results/faultsim.html"));
 
-    let cells = run_matrix(&cfg);
+    let cells = run_matrix(&cfg, jobs);
     for c in cells.iter().filter(|c| c.verdict != "n/a") {
         obs::record_verdicts(
             &format!("{}/{}", c.backend, c.fault),
@@ -367,8 +382,8 @@ fn write_artifact(path: &Path, content: &str) {
 fn usage_exit(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: faultsim [--quick] [--seed <n>] [--horizon <cycles>] \
-         [--csv <path>] [--html <path>] [--trace <path>] [--trace-cap <records>] \
-         [--lockstat <path>] [--watchdog-cycles <n>]"
+         [--jobs <n|0=cores>] [--csv <path>] [--html <path>] [--trace <path>] \
+         [--trace-cap <records>] [--lockstat <path>] [--watchdog-cycles <n>]"
     );
     std::process::exit(2);
 }

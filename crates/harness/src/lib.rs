@@ -22,6 +22,7 @@ pub mod figs;
 pub mod lockstat;
 pub mod obs;
 pub mod run;
+pub mod sweep;
 pub mod table;
 
 pub use run::{
@@ -82,6 +83,50 @@ pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Table>) {
     let tables = f();
     emit(name, &tables);
     finish_bin(name);
+}
+
+/// A figure generator: produces the figure's tables from a fresh world.
+pub type FigFn = fn() -> Vec<Table>;
+
+/// Every figure of the evaluation, in the `all` bin's emission order.
+pub const ALL_FIGS: &[(&str, FigFn)] = &[
+    ("fig1", figs::fig1),
+    ("fig8", figs::fig8),
+    ("fig9", figs::fig9),
+    ("fig10", figs::fig10),
+    ("fig11", figs::fig11),
+    ("fig12", figs::fig12),
+    ("fig13", figs::fig13),
+    ("fairness", figs::fairness),
+    ("messages", figs::messages),
+    ("summary", figs::summary),
+];
+
+/// Regenerates every figure (the `all` bin's work). With `jobs > 1` the
+/// figures run on worker threads via [`sweep`]; each figure's tables and
+/// observability still emit on the main thread in [`ALL_FIGS`] order, so
+/// stdout and every `results/` artifact are byte-identical to `jobs == 1`.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be written.
+pub fn run_all(jobs: usize) {
+    if sweep::effective_jobs(jobs, ALL_FIGS.len()) <= 1 {
+        for (name, f) in ALL_FIGS {
+            eprintln!("== regenerating {name} ==");
+            let tables = f();
+            emit(name, &tables);
+            finish_bin(name);
+        }
+        return;
+    }
+    let outs = sweep::run_jobs(jobs, ALL_FIGS.len(), |i| (ALL_FIGS[i].1)());
+    for ((name, _), out) in ALL_FIGS.iter().zip(outs) {
+        eprintln!("== regenerating {name} ==");
+        let tables = sweep::include(out);
+        emit(name, &tables);
+        finish_bin(name);
+    }
 }
 
 /// Emits the deferred observability outputs collected during a bin's runs:

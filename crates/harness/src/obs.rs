@@ -391,6 +391,64 @@ pub(crate) fn take_runs() -> BTreeMap<String, RunCapture> {
     OBS.with(|o| std::mem::take(&mut o.borrow_mut().metrics))
 }
 
+/// A worker thread's drained observability: the run captures and verdicts
+/// its jobs produced, carried back to the main thread by the sweep runner
+/// (see [`crate::sweep`]) and merged in canonical job order.
+#[derive(Default)]
+pub(crate) struct WorkerCapture {
+    metrics: BTreeMap<String, RunCapture>,
+    verdicts: BTreeMap<String, Vec<Verdict>>,
+}
+
+/// True when the process-wide observability options capture per-run state
+/// that only works single-threaded (trace export, lockstat, the
+/// self-profiler) — the sweep runner then falls back to sequential
+/// execution so those captures see every run.
+pub(crate) fn wants_sequential() -> bool {
+    OBS.with(|o| {
+        let o = o.borrow();
+        o.trace_path.is_some() || o.lockstat_path.is_some() || o.self_profile.is_some()
+    })
+}
+
+/// Drains this thread's run captures and verdicts into a [`WorkerCapture`].
+/// Called by sweep workers after each job, so one capture holds exactly
+/// one job's observability.
+pub(crate) fn drain_worker() -> WorkerCapture {
+    OBS.with(|o| {
+        let mut o = o.borrow_mut();
+        WorkerCapture {
+            metrics: std::mem::take(&mut o.metrics),
+            verdicts: std::mem::take(&mut o.verdicts),
+        }
+    })
+}
+
+/// Merges a worker's drained capture into this thread's observability
+/// state. Calling this on the main thread, in canonical job order, leaves
+/// OBS byte-identical to having run the jobs sequentially: per-label run
+/// counts accumulate and the *last* merged capture for a label wins,
+/// exactly like repeated [`observe`] calls.
+pub(crate) fn merge_worker(c: WorkerCapture) {
+    OBS.with(|o| {
+        let mut o = o.borrow_mut();
+        for (label, cap) in c.metrics {
+            match o.metrics.entry(label) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(cap);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let prev_runs = e.get().runs;
+                    let slot = e.get_mut();
+                    *slot = cap;
+                    slot.runs += prev_runs;
+                }
+            }
+        }
+        o.verdicts.extend(c.verdicts);
+    });
+}
+
 /// Renders drained run captures into the metrics table (one row per
 /// counter / histogram), or `None` when no instrumented run happened.
 pub(crate) fn metrics_table(name: &str, runs: &BTreeMap<String, RunCapture>) -> Option<Table> {

@@ -25,6 +25,7 @@ mod ideal;
 mod lock;
 mod prog;
 pub mod testing;
+mod wire;
 mod world;
 
 pub use addr::{home_of, Addr, Alloc, WORDS_PER_LINE};
@@ -34,6 +35,7 @@ pub use ideal::IdealBackend;
 pub use lock::{BackendFault, LockBackend, Mode};
 pub use locksim_coherence::LineAddr;
 pub use prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
+pub use wire::WirePayload;
 pub use world::{CycleDissection, Ep, Mach, MemKind, PendingWaiter, RunExit, ThreadStats, World};
 
 // Observability types, re-exported so downstream crates (backends, harness)

@@ -1,14 +1,13 @@
 //! The lock-backend interface: how lock implementations (hardware LCU/SSB
 //! units or software algorithms) plug into the machine.
 
-use std::any::Any;
-
 use locksim_coherence::LineAddr;
 use locksim_engine::stats::Counters;
 use locksim_engine::Cycles;
 
 use crate::addr::Addr;
 use crate::prog::{CoreId, ThreadId};
+use crate::wire::WirePayload;
 use crate::world::Mach;
 
 /// Reader or writer lock mode.
@@ -74,7 +73,7 @@ pub trait LockBackend {
     fn on_release(&mut self, m: &mut Mach, t: ThreadId, lock: Addr, mode: Mode);
 
     /// A wire message sent earlier via [`Mach::send_wire`] has arrived.
-    fn on_wire(&mut self, m: &mut Mach, payload: Box<dyn Any>) {
+    fn on_wire(&mut self, m: &mut Mach, payload: WirePayload) {
         let _ = (m, payload);
     }
 

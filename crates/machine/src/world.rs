@@ -5,8 +5,8 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
 use locksim_coherence::{
-    CacheAction, CacheCtrl, CacheId, CacheOpResult, CacheState, CacheToDir, CpuOp, DirCtrl, DirId,
-    DirToCache, LineAddr,
+    CacheAction, CacheCtrl, CacheId, CacheOpResult, CacheState, CacheToDir, CpuOp, DirAction,
+    DirCtrl, DirId, DirToCache, LineAddr,
 };
 use locksim_engine::stats::Counters;
 use locksim_engine::{Cycles, RngStream, Simulator, Time};
@@ -20,6 +20,7 @@ use crate::addr::{home_of, Addr, Alloc};
 use crate::config::MachineConfig;
 use crate::lock::{BackendFault, LockBackend, Mode};
 use crate::prog::{Action, CoreId, Ctx, Outcome, Program, RmwOp, ThreadId};
+use crate::wire::WirePayload;
 
 /// A memory operation kind carried through the memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,16 +109,6 @@ enum Ev {
     WakeNow(ThreadId, LineAddr),
     /// A thread voluntarily yields its core (spin-then-yield backends).
     YieldNow(ThreadId),
-}
-
-/// A backend protocol message in flight, carried inside [`Ev::Wire`]
-/// (opaque to the machine; only the backend that sent it knows the type).
-struct WirePayload(Box<dyn Any>);
-
-impl std::fmt::Debug for WirePayload {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("WirePayload(..)")
-    }
 }
 
 /// Where a thread's simulated cycles went. Every cycle from spawn to
@@ -312,6 +303,12 @@ pub struct Mach {
     /// (LOCKSIM_TRACE, LOCKSIM_TRACELINE, LOCKSIM_WATCHLINE) so the hot
     /// dispatch paths never touch the environment.
     dbg: DebugCfg,
+    /// Reusable scratch for cache-controller outputs: the dispatch loop
+    /// takes it, drains it, and puts it back so steady-state coherence
+    /// traffic never allocates.
+    cache_scratch: Vec<CacheAction>,
+    /// Same, for directory-controller outputs.
+    dir_scratch: Vec<DirAction>,
 }
 
 /// Counter-based message-delay fault (see [`Mach::set_wire_fault`]).
@@ -731,14 +728,16 @@ impl Mach {
 
     /// Sends a backend protocol message from `src` to `dst`; it arrives at
     /// the backend's [`LockBackend::on_wire`] after network latency plus
-    /// `extra` cycles of processing delay.
-    pub fn send_wire(
+    /// `extra` cycles of processing delay. Small payloads are stored inline
+    /// in the event (see [`WirePayload`]) — pass the message value itself,
+    /// not a box.
+    pub fn send_wire<P: Any>(
         &mut self,
         src: Ep,
         dst: Ep,
         class: MsgClass,
         extra: Cycles,
-        payload: Box<dyn Any>,
+        payload: P,
     ) {
         let s = self.ep_node(src);
         let d = self.ep_node(dst);
@@ -750,7 +749,7 @@ impl Mach {
         };
         self.metrics.incr("backend_wire_msgs");
         self.sim
-            .schedule_at(arrival, Ev::Wire(WirePayload(payload)));
+            .schedule_at(arrival, Ev::Wire(WirePayload::new(payload)));
     }
 
     /// Sends on the network, counting the message class and recording a
@@ -1044,6 +1043,8 @@ impl World {
                 quantum_active: false,
                 wire_fault: None,
                 dbg: DebugCfg::from_env(),
+                cache_scratch: Vec::new(),
+                dir_scratch: Vec::new(),
             },
             backend,
         }
@@ -1426,20 +1427,25 @@ impl World {
     /// time passes `limit`.
     pub fn run_for(&mut self, limit: Option<Time>) -> RunExit {
         let _prof = prof::span("sim/run_for");
-        loop {
+        // The alloc run-phase window brackets the event loop only, so
+        // benchsim's per-scenario churn excludes world setup/teardown.
+        locksim_trace::alloc::run_phase_start();
+        let exit = loop {
             if self.mach.alive == 0 {
-                return RunExit::AllFinished;
+                break RunExit::AllFinished;
             }
             if let (Some(lim), Some(next)) = (limit, self.mach.sim.peek_time()) {
                 if next > lim {
-                    return RunExit::TimeLimit;
+                    break RunExit::TimeLimit;
                 }
             }
             let Some((_, ev)) = self.mach.sim.pop() else {
-                return RunExit::Stalled;
+                break RunExit::Stalled;
             };
             self.dispatch(ev);
-        }
+        };
+        locksim_trace::alloc::run_phase_end();
+        exit
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -1505,7 +1511,8 @@ impl World {
                 } else {
                     None
                 };
-                let actions = self.mach.caches[cache].handle(line, msg);
+                let mut actions = std::mem::take(&mut self.mach.cache_scratch);
+                self.mach.caches[cache].handle(line, msg, &mut actions);
                 if let Some(b) = before {
                     let a = self.mach.caches[cache].state(line);
                     if a != b {
@@ -1520,7 +1527,7 @@ impl World {
                         });
                     }
                 }
-                for act in actions {
+                for act in actions.drain(..) {
                     match act {
                         CacheAction::Send(m) => {
                             let home = home_of(line, self.mach.dirs.len());
@@ -1548,6 +1555,7 @@ impl World {
                         CacheAction::Downgraded => {}
                     }
                 }
+                self.mach.cache_scratch = actions;
             }
             Ev::DirMsg {
                 dir,
@@ -1575,8 +1583,9 @@ impl World {
                         },
                     });
                 }
-                let actions = self.mach.dirs[dir].handle(line, from, msg);
-                for act in actions {
+                let mut actions = std::mem::take(&mut self.mach.dir_scratch);
+                self.mach.dirs[dir].handle(line, from, msg, &mut actions);
+                for act in actions.drain(..) {
                     // A data grant is the transaction's serialization point:
                     // apply the requestor's pending value effect now so that
                     // values linearize in directory order, not in message-
@@ -1616,10 +1625,11 @@ impl World {
                         },
                     );
                 }
+                self.mach.dir_scratch = actions;
             }
             Ev::Wire(payload) => {
                 let _prof = prof::span("backend/on_wire");
-                self.backend.on_wire(&mut self.mach, payload.0);
+                self.backend.on_wire(&mut self.mach, payload);
             }
             Ev::Timer(token) => {
                 self.mach.trace(|now| TraceEvent {

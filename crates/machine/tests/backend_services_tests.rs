@@ -2,7 +2,6 @@
 //! timers, backend-issued memory operations (including deferral across
 //! preemption), and line watches (including the immediate-fire path).
 
-use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -71,7 +70,7 @@ impl LockBackend for ProbeBackend {
             Ep::Mem(home),
             MsgClass::Control,
             0,
-            Box::new((t, lock)),
+            (t, lock),
         );
         m.set_timer(50, t.0 as u64);
     }
@@ -84,8 +83,8 @@ impl LockBackend for ProbeBackend {
         m.complete_release(t);
     }
 
-    fn on_wire(&mut self, m: &mut Mach, payload: Box<dyn Any>) {
-        let (t, _lock) = *payload.downcast::<(ThreadId, Addr)>().expect("payload");
+    fn on_wire(&mut self, m: &mut Mach, payload: locksim_machine::WirePayload) {
+        let (t, _lock) = payload.downcast::<(ThreadId, Addr)>().expect("payload");
         self.log.borrow_mut().events.push(format!("wire t{}", t.0));
         m.grant_lock(t);
     }

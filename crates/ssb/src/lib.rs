@@ -33,12 +33,11 @@
 //! w.run_to_completion();
 //! ```
 
-use std::any::Any;
 use std::collections::HashMap;
 
 use locksim_engine::stats::Counters;
 use locksim_engine::{Cycles, Time};
-use locksim_machine::{Addr, Checker, Ep, LockBackend, Mach, Mode, ThreadId};
+use locksim_machine::{Addr, Checker, Ep, LockBackend, Mach, Mode, ThreadId, WirePayload};
 use locksim_topo::MsgClass;
 
 /// SSB entries per bank (Zhu et al. size their SSB in the hundreds; the
@@ -133,13 +132,7 @@ impl SsbBackend {
             mode: p.mode,
             core,
         };
-        m.send_wire(
-            Ep::Core(core),
-            Ep::Mem(home),
-            MsgClass::Control,
-            0,
-            Box::new(msg),
-        );
+        m.send_wire(Ep::Core(core), Ep::Mem(home), MsgClass::Control, 0, msg);
     }
 
     fn arm_retry(&mut self, m: &mut Mach, t: ThreadId) {
@@ -202,13 +195,7 @@ impl SsbBackend {
                     SsbMsg::Deny { addr, tid }
                 };
                 let lat = m.cfg().lrt_latency;
-                m.send_wire(
-                    Ep::Mem(home),
-                    Ep::Core(core),
-                    MsgClass::Control,
-                    lat,
-                    Box::new(reply),
-                );
+                m.send_wire(Ep::Mem(home), Ep::Core(core), MsgClass::Control, lat, reply);
             }
             SsbMsg::Rel {
                 addr,
@@ -237,13 +224,7 @@ impl SsbBackend {
                 }
                 let lat = m.cfg().lrt_latency;
                 let reply = SsbMsg::RelAck { tid, orphan };
-                m.send_wire(
-                    Ep::Mem(home),
-                    Ep::Core(core),
-                    MsgClass::Control,
-                    lat,
-                    Box::new(reply),
-                );
+                m.send_wire(Ep::Mem(home), Ep::Core(core), MsgClass::Control, lat, reply);
             }
             _ => unreachable!("bank only receives Req/Rel"),
         }
@@ -291,18 +272,12 @@ impl LockBackend for SsbBackend {
             core,
             orphan: false,
         };
-        m.send_wire(
-            Ep::Core(core),
-            Ep::Mem(home),
-            MsgClass::Control,
-            0,
-            Box::new(msg),
-        );
+        m.send_wire(Ep::Core(core), Ep::Mem(home), MsgClass::Control, 0, msg);
     }
 
-    fn on_wire(&mut self, m: &mut Mach, payload: Box<dyn Any>) {
+    fn on_wire(&mut self, m: &mut Mach, payload: WirePayload) {
         self.ensure_init(m);
-        let msg = *payload.downcast::<SsbMsg>().expect("unknown SSB payload");
+        let msg = payload.downcast::<SsbMsg>().expect("unknown SSB payload");
         match msg {
             SsbMsg::Req { .. } | SsbMsg::Rel { .. } => self.bank_handle(m, msg),
             SsbMsg::Grant { addr, tid, mode } => {
@@ -321,13 +296,7 @@ impl LockBackend for SsbBackend {
                         core,
                         orphan: true,
                     };
-                    m.send_wire(
-                        Ep::Core(core),
-                        Ep::Mem(home),
-                        MsgClass::Control,
-                        0,
-                        Box::new(rel),
-                    );
+                    m.send_wire(Ep::Core(core), Ep::Mem(home), MsgClass::Control, 0, rel);
                     return;
                 }
                 let p = self.pending.remove(&tid).expect("checked");

@@ -144,6 +144,55 @@ pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+thread_local! {
+    static RUN_START: std::cell::Cell<Option<AllocSnapshot>> =
+        const { std::cell::Cell::new(None) };
+    static RUN_DELTA: std::cell::Cell<Option<AllocSnapshot>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Opens this thread's run-phase window: churn between here and
+/// [`run_phase_end`] accumulates into the delta returned by
+/// [`take_run_phase`]. The simulator's event loop brackets itself with
+/// this pair so benchmark callers can attribute allocations to the run
+/// loop alone — world construction, baseline parsing and report assembly
+/// stay outside the window.
+pub fn run_phase_start() {
+    RUN_START.with(|c| c.set(Some(snapshot())));
+}
+
+/// Closes the window opened by [`run_phase_start`] (no-op when none is
+/// open), folding the churn into the pending run-phase delta.
+pub fn run_phase_end() {
+    let Some(before) = RUN_START.with(|c| c.take()) else {
+        return;
+    };
+    let d = snapshot().since(&before);
+    RUN_DELTA.with(|c| {
+        let merged = match c.take() {
+            // Stepped runs (chaos drives the world in slices) sum their
+            // windows; the absolute fields keep the latest reading.
+            Some(prev) => AllocSnapshot {
+                allocs: prev.allocs + d.allocs,
+                frees: prev.frees + d.frees,
+                bytes_allocated: prev.bytes_allocated + d.bytes_allocated,
+                current_bytes: d.current_bytes,
+                peak_bytes: d.peak_bytes,
+                installed: d.installed,
+            },
+            None => d,
+        };
+        c.set(Some(merged));
+    });
+}
+
+/// Takes (and clears) the accumulated run-phase delta for this thread.
+/// `None` when no window closed since the last take.
+pub fn take_run_phase() -> Option<AllocSnapshot> {
+    RUN_START.with(|c| c.set(None));
+    RUN_DELTA.with(|c| c.take())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
