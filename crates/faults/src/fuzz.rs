@@ -53,7 +53,7 @@ pub struct FuzzConfig {
 impl Default for FuzzConfig {
     fn default() -> Self {
         FuzzConfig {
-            backends: vec!["lcu", "lcu+flt", "ssb", "mcs", "mrsw"],
+            backends: vec!["lcu", "lcu+flt", "ssb", "mcs", "mrsw", "bravo", "fissile"],
             threads: (2, 6),
             n_cores: 4,
             iters: (60, 240),

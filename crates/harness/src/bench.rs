@@ -231,6 +231,20 @@ pub fn run_suite(quick: bool) -> BenchReport {
         100,
     ));
     scenarios.push(micro(
+        "micro/bravo/a16w10",
+        ModelSel::A,
+        BackendKind::Sw(SwAlg::Bravo),
+        16,
+        10,
+    ));
+    scenarios.push(micro(
+        "micro/fissile/a16w10",
+        ModelSel::A,
+        BackendKind::Sw(SwAlg::Fissile),
+        16,
+        10,
+    ));
+    scenarios.push(micro(
         "micro/lcu/a32w50",
         ModelSel::A,
         BackendKind::Lcu,

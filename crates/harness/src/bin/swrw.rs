@@ -1,0 +1,4 @@
+//! Regenerates the modern-software-RW-locks-vs-LCU comparison tables.
+fn main() {
+    locksim_harness::run_bin("swrw", locksim_harness::figs::swrw);
+}

@@ -42,7 +42,7 @@ pub const DEFAULT_QUIESCE: u64 = 50_000;
 const N_CORES: u32 = 4;
 
 /// Resolves a harness backend label ("lcu", "lcu+flt", "ssb", "mcs",
-/// "mrsw", "ideal") to its [`BackendKind`].
+/// "mrsw", "bravo", "fissile", "ideal") to its [`BackendKind`].
 pub fn backend_by_label(label: &str) -> Option<BackendKind> {
     Some(match label {
         "lcu" => BackendKind::Lcu,
@@ -50,6 +50,8 @@ pub fn backend_by_label(label: &str) -> Option<BackendKind> {
         "ssb" => BackendKind::Ssb,
         "mcs" => BackendKind::Sw(SwAlg::Mcs),
         "mrsw" => BackendKind::Sw(SwAlg::Mrsw),
+        "bravo" => BackendKind::Sw(SwAlg::Bravo),
+        "fissile" => BackendKind::Sw(SwAlg::Fissile),
         "ideal" => BackendKind::Ideal,
         _ => return None,
     })
@@ -498,7 +500,9 @@ mod tests {
 
     #[test]
     fn backend_labels_round_trip() {
-        for label in ["lcu", "lcu+flt", "ssb", "mcs", "mrsw", "ideal"] {
+        for label in [
+            "lcu", "lcu+flt", "ssb", "mcs", "mrsw", "bravo", "fissile", "ideal",
+        ] {
             let kind = backend_by_label(label).expect(label);
             assert_eq!(kind.label(), label);
         }

@@ -110,15 +110,20 @@ impl FaultClass {
 }
 
 /// The matrix's backend rows: the LCU with and without the FLT, the SSB
-/// baseline, and the two contrasting software locks (queue-based MCS,
-/// centralized MRSW).
-pub fn backends() -> [BackendKind; 5] {
+/// baseline, the two contrasting classic software locks (queue-based MCS,
+/// centralized MRSW), and the two modern software RW locks (biased BRAVO,
+/// composed Fissile). Like MCS/MRSW, the modern locks still wedge behind
+/// a suspended thread — no software protocol recovers the paper's
+/// robustness cells; that comparison is the point of carrying them here.
+pub fn backends() -> [BackendKind; 7] {
     [
         BackendKind::Lcu,
         BackendKind::LcuFlt,
         BackendKind::Ssb,
         BackendKind::Sw(SwAlg::Mcs),
         BackendKind::Sw(SwAlg::Mrsw),
+        BackendKind::Sw(SwAlg::Bravo),
+        BackendKind::Sw(SwAlg::Fissile),
     ]
 }
 

@@ -456,6 +456,98 @@ pub fn messages() -> Vec<Table> {
     vec![t]
 }
 
+/// Modern software RW locks vs the LCU: BRAVO (biased, ATC '19) and
+/// Fissile (MCS core + reader aggregation, 2020) against the paper-era
+/// baselines under the identical workload, with handoff-latency tails
+/// from the `lock_wait_cycles` histogram. The comparison the paper could
+/// not make: does a decade of software RW-lock research close the gap to
+/// hardware support?
+pub fn swrw() -> Vec<Table> {
+    let iters = scaled(10_000, 1_200);
+    let threads = 16;
+    let mut t = Table::new(
+        "Modern software RW locks vs the LCU — Model A, 16 threads \
+         (handoff = lock_wait_cycles percentiles)",
+        &[
+            "backend",
+            "write%",
+            "cycles/CS",
+            "handoff p50",
+            "handoff p99",
+            "handoff p99.9",
+            "handoff max",
+        ],
+    );
+    let mut internals = Table::new(
+        "BRAVO / Fissile protocol internals (same runs)",
+        &[
+            "backend",
+            "write%",
+            "fast reads",
+            "slow reads",
+            "revocations",
+            "re-bias",
+            "rollbacks",
+            "writer waits",
+        ],
+    );
+    let rw: &[BackendKind] = &[
+        BackendKind::Lcu,
+        BackendKind::Ssb,
+        BackendKind::Sw(SwAlg::Mrsw),
+        BackendKind::Sw(SwAlg::Bravo),
+        BackendKind::Sw(SwAlg::Fissile),
+    ];
+    for &wp in &[0u32, 10, 100] {
+        // MCS is writer-only: it joins the write-only column as the classic
+        // queue-lock reference and is skipped for read mixes.
+        let row_backends: Vec<BackendKind> = if wp == 100 {
+            let mut v = rw.to_vec();
+            v.push(BackendKind::Sw(SwAlg::Mcs));
+            v
+        } else {
+            rw.to_vec()
+        };
+        for b in row_backends {
+            let r = run_microbench(ModelSel::A, b, threads, wp, iters, 42);
+            let h = r
+                .metrics
+                .hists
+                .iter()
+                .find(|h| h.name == "lock_wait_cycles");
+            let pct = |f: fn(&locksim_trace::metrics::HistSummary) -> u64| {
+                h.map(|h| f(h).to_string()).unwrap_or_else(|| "-".into())
+            };
+            t.push(vec![
+                b.label().into(),
+                wp.to_string(),
+                f1(r.cycles_per_cs),
+                pct(|h| h.p50),
+                pct(|h| h.p99),
+                pct(|h| h.p999),
+                pct(|h| h.max),
+            ]);
+            if matches!(
+                b,
+                BackendKind::Sw(SwAlg::Bravo) | BackendKind::Sw(SwAlg::Fissile)
+            ) {
+                let c = &r.metrics.counters;
+                internals.push(vec![
+                    b.label().into(),
+                    wp.to_string(),
+                    (c.get("sw_bravo_fast_reads") + c.get("sw_fissile_read_fast")).to_string(),
+                    c.get("sw_bravo_slow_reads").to_string(),
+                    c.get("sw_bravo_revocations").to_string(),
+                    c.get("sw_bravo_rebias").to_string(),
+                    c.get("sw_fissile_rollbacks").to_string(),
+                    c.get("sw_fissile_writer_waits").to_string(),
+                ]);
+            }
+        }
+    }
+    vec![t, internals]
+}
+
 /// Headline summary: the paper's §IV-A/B/C claims recomputed from the model.
 pub fn summary() -> Vec<Table> {
     let iters = scaled(20_000, 1_500);

@@ -99,6 +99,7 @@ pub const ALL_FIGS: &[(&str, FigFn)] = &[
     ("fig13", figs::fig13),
     ("fairness", figs::fairness),
     ("messages", figs::messages),
+    ("swrw", figs::swrw),
     ("summary", figs::summary),
 ];
 

@@ -10,6 +10,13 @@
 //! caps its wait at one reader-group drain, which stays far under the
 //! watchdog threshold. Running both backends on the same schedule turns
 //! the watchdog into a pass/fail oracle: SSB must flag, LCU must not.
+//!
+//! The modern software RW backends join the contrast as extra panels:
+//! BRAVO revokes its reader bias on the writer's arrival and then waits
+//! one reader-group drain behind the writer-preferring MRSW slow path,
+//! and Fissile's write bit blocks new readers immediately — so both keep
+//! the writer's wait bounded and must not flag either, at software-lock
+//! (not LCU) handoff cost.
 
 use std::path::PathBuf;
 
@@ -282,6 +289,8 @@ pub fn cli_main() {
     let runs = [
         run_starvation(BackendKind::Ssb, &cfg),
         run_starvation(BackendKind::Lcu, &cfg),
+        run_starvation(BackendKind::Sw(locksim_swlocks::SwAlg::Bravo), &cfg),
+        run_starvation(BackendKind::Sw(locksim_swlocks::SwAlg::Fissile), &cfg),
     ];
     emit("lockstat", &tables(&cfg, &runs));
     for r in &runs {

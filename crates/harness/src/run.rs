@@ -447,6 +447,8 @@ mod tests {
             BackendKind::Sw(SwAlg::Mcs).label(),
             BackendKind::Sw(SwAlg::Mrsw).label(),
             BackendKind::Sw(SwAlg::Posix).label(),
+            BackendKind::Sw(SwAlg::Bravo).label(),
+            BackendKind::Sw(SwAlg::Fissile).label(),
         ];
         let set: std::collections::BTreeSet<_> = labels.iter().collect();
         assert_eq!(set.len(), labels.len());

@@ -6,7 +6,7 @@ use locksim_engine::Cycles;
 use locksim_machine::{Addr, CoreId, LineAddr, LockBackend, Mach, Mode, ThreadId};
 
 use crate::state::{OpKind, Phase, Step, SwState, TimerPurpose};
-use crate::{mcs, mrsw, tas};
+use crate::{bravo, fissile, mcs, mrsw, tas};
 
 /// Which software lock algorithm the backend runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,6 +21,14 @@ pub enum SwAlg {
     Mrsw,
     /// Adaptive mutex (spin-then-park TATAS), the "posix" baseline.
     Posix,
+    /// BRAVO-style biased reader-writer lock: readers publish into a
+    /// global visible-readers table; writers revoke via the underlying
+    /// MRSW lock (Dice & Kogan, ATC '19).
+    Bravo,
+    /// Fissile-style reader-writer lock: an inner MCS core serializing
+    /// writers plus an outer lock word aggregating readers (Dice &
+    /// Kogan, 2020).
+    Fissile,
 }
 
 impl SwAlg {
@@ -32,6 +40,8 @@ impl SwAlg {
             SwAlg::Mcs => "mcs",
             SwAlg::Mrsw => "mrsw",
             SwAlg::Posix => "posix",
+            SwAlg::Bravo => "bravo",
+            SwAlg::Fissile => "fissile",
         }
     }
 }
@@ -55,7 +65,7 @@ impl SwLockBackend {
     pub fn new(alg: SwAlg) -> Self {
         SwLockBackend {
             alg,
-            st: SwState::new(),
+            st: SwState::new(alg),
         }
     }
 
@@ -76,6 +86,8 @@ impl SwLockBackend {
             Phase::MrswRWait | Phase::MrswWWaitRdr | Phase::MrswWRelSpinWait => {
                 mrsw::redrive(&mut self.st, m, t)
             }
+            Phase::BravoWScanWait => bravo::redrive(&mut self.st, m, t),
+            Phase::FisRWait | Phase::FisWWait => fissile::redrive(&mut self.st, m, t),
             _ => {}
         }
     }
@@ -105,10 +117,26 @@ impl SwLockBackend {
             | Phase::McsRelCas
             | Phase::McsRelSpinRead
             | Phase::McsRelSpinWait
-            | Phase::McsRelUnlock => {
-                let mrsw_writer = self.alg == SwAlg::Mrsw;
-                mcs::advance(&mut self.st, m, t, step, mrsw_writer);
-            }
+            | Phase::McsRelUnlock => mcs::advance(&mut self.st, m, t, step),
+            Phase::BravoRReadBias
+            | Phase::BravoRPublish
+            | Phase::BravoRRecheckBias
+            | Phase::BravoRUndo
+            | Phase::BravoRRelClear
+            | Phase::BravoRSetBias
+            | Phase::BravoWReadBias
+            | Phase::BravoWClearBias
+            | Phase::BravoWScanRead
+            | Phase::BravoWScanWait => bravo::advance(&mut self.st, m, t, step),
+            Phase::FisRInc
+            | Phase::FisRDec
+            | Phase::FisRWaitCheck
+            | Phase::FisRWait
+            | Phase::FisRRelDec
+            | Phase::FisWSetBit
+            | Phase::FisWReadWord
+            | Phase::FisWWait
+            | Phase::FisWRelClear => fissile::advance(&mut self.st, m, t, step),
             _ => mrsw::advance(&mut self.st, m, t, step),
         }
     }
@@ -133,8 +161,8 @@ impl LockBackend for SwLockBackend {
         );
         if mode == Mode::Read {
             assert!(
-                matches!(self.alg, SwAlg::Mrsw),
-                "{} does not support read locking; use MRSW",
+                matches!(self.alg, SwAlg::Mrsw | SwAlg::Bravo | SwAlg::Fissile),
+                "{} does not support read locking; use a reader-writer alg",
                 self.alg.label()
             );
         }
@@ -156,7 +184,11 @@ impl LockBackend for SwLockBackend {
             (SwAlg::Tatas | SwAlg::Posix, _) => tas::start_acquire(&mut self.st, m, t, true),
             (SwAlg::Mcs, _) => mcs::start_acquire(&mut self.st, m, t),
             (SwAlg::Mrsw, Mode::Read) => mrsw::start_acquire_read(&mut self.st, m, t),
-            (SwAlg::Mrsw, Mode::Write) => mcs::start_acquire(&mut self.st, m, t),
+            (SwAlg::Bravo, Mode::Read) => bravo::start_acquire_read(&mut self.st, m, t),
+            (SwAlg::Fissile, Mode::Read) => fissile::start_acquire_read(&mut self.st, m, t),
+            (SwAlg::Mrsw | SwAlg::Bravo | SwAlg::Fissile, Mode::Write) => {
+                mcs::start_acquire(&mut self.st, m, t)
+            }
         }
     }
 
@@ -177,7 +209,12 @@ impl LockBackend for SwLockBackend {
             (SwAlg::Tas | SwAlg::Tatas | SwAlg::Posix, _) => tas::start_release(&mut self.st, m, t),
             (SwAlg::Mcs, _) => mcs::start_release(&mut self.st, m, t),
             (SwAlg::Mrsw, Mode::Read) => mrsw::start_release_read(&mut self.st, m, t),
-            (SwAlg::Mrsw, Mode::Write) => mrsw::start_release_write(&mut self.st, m, t),
+            (SwAlg::Mrsw | SwAlg::Bravo, Mode::Write) => {
+                mrsw::start_release_write(&mut self.st, m, t)
+            }
+            (SwAlg::Bravo, Mode::Read) => bravo::start_release_read(&mut self.st, m, t),
+            (SwAlg::Fissile, Mode::Read) => fissile::start_release_read(&mut self.st, m, t),
+            (SwAlg::Fissile, Mode::Write) => fissile::start_release_write(&mut self.st, m, t),
         }
     }
 

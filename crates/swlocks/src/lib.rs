@@ -19,6 +19,15 @@
 //!   measures (two atomic RMWs per reader, more under writer contention).
 //! * [`SwAlg::Posix`] — an adaptive mutex (spin-then-park TATAS), standing
 //!   in for Solaris `pthread_mutex` in the application benchmarks.
+//! * [`SwAlg::Bravo`] — a BRAVO-style biased reader-writer lock (Dice &
+//!   Kogan, ATC '19): readers publish into a global visible-readers table
+//!   (one CAS on a private slot line) while the lock is biased; writers
+//!   take the underlying MRSW lock and revoke the bias by scanning the
+//!   table, with an adaptive re-bias inhibit window.
+//! * [`SwAlg::Fissile`] — a Fissile-style reader-writer lock (Dice &
+//!   Kogan, 2020): an inner MCS core serializes writers; readers
+//!   aggregate on an outer lock word (`fetch_add` ±2 around a WRITE bit)
+//!   and roll back when a writer is present.
 //!
 //! Trylock (`try_for`) is supported by the unstructured locks (TAS, TATAS,
 //! Posix); queue-based locks reject it, matching the paper's observation
@@ -44,6 +53,8 @@
 //! ```
 
 mod backend;
+mod bravo;
+mod fissile;
 mod mcs;
 mod mrsw;
 mod state;

@@ -34,10 +34,11 @@ pub(crate) fn start_release(st: &mut SwState, m: &mut Mach, t: ThreadId) {
     read(m, t, q);
 }
 
-/// Advances the MCS machine. `mrsw_writer` selects what happens when the
-/// queue grants: plain MCS grants the lock; an MRSW writer proceeds to set
-/// the writer-active flag and drain readers.
-pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, mrsw_writer: bool) {
+/// Advances the MCS machine. What happens when the queue grants depends
+/// on the algorithm (see [`mcs_acquired`]): plain MCS grants the lock;
+/// MRSW/BRAVO writers proceed to drain readers; Fissile writers set the
+/// write bit on the lock word.
+pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step) {
     let Some(tsm) = st.threads.get_mut(&t) else {
         return;
     };
@@ -51,7 +52,7 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, m
         }
         (Phase::McsSwap, Step::Value(pred)) => {
             if pred == 0 {
-                mcs_acquired(st, m, t, mrsw_writer);
+                mcs_acquired(st, m, t);
             } else {
                 // locked = 1, then link pred.next = q, then spin.
                 tsm.phase = Phase::McsStoreLocked;
@@ -73,7 +74,7 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, m
         }
         (Phase::McsSpinRead, Step::Value(v)) => {
             if v == 0 {
-                mcs_acquired(st, m, t, mrsw_writer);
+                mcs_acquired(st, m, t);
             } else {
                 tsm.phase = Phase::McsSpinWait;
                 st.counters.incr("sw_mcs_spins");
@@ -131,12 +132,14 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step, m
     }
 }
 
-/// The queue made this thread the lock holder.
-fn mcs_acquired(st: &mut SwState, m: &mut Mach, t: ThreadId, mrsw_writer: bool) {
-    if mrsw_writer {
-        crate::mrsw::writer_at_head(st, m, t);
-    } else {
-        st.grant(m, t);
+/// The queue made this thread the lock holder. MRSW and BRAVO writers
+/// continue into the reader-drain phases (BRAVO additionally revokes the
+/// reader bias once drained); Fissile writers continue onto the lock word.
+fn mcs_acquired(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    match st.alg {
+        crate::SwAlg::Mrsw | crate::SwAlg::Bravo => crate::mrsw::writer_at_head(st, m, t),
+        crate::SwAlg::Fissile => crate::fissile::writer_at_head(st, m, t),
+        _ => st.grant(m, t),
     }
 }
 

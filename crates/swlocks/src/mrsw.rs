@@ -70,7 +70,7 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step) {
         }
         (Phase::MrswRCheckW, Step::Value(w)) => {
             if w == 0 {
-                st.grant(m, t);
+                read_locked(st, m, t);
             } else {
                 // Roll back and wait for the writer to finish.
                 tsm.phase = Phase::MrswRDec;
@@ -105,7 +105,7 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step) {
         }
         (Phase::MrswWReadRdr, Step::Value(r)) => {
             if r == 0 {
-                st.grant(m, t);
+                write_locked(st, m, t);
             } else {
                 tsm.phase = Phase::MrswWWaitRdr;
                 st.counters.incr("sw_mrsw_writer_waits");
@@ -167,6 +167,24 @@ pub(crate) fn advance(st: &mut SwState, m: &mut Mach, t: ThreadId, step: Step) {
         }
         (_, Step::Wake) | (_, Step::Timer) => {}
         (p, s) => panic!("mrsw machine: unexpected {s:?} in {p:?}"),
+    }
+}
+
+/// The underlying read lock is held. A BRAVO slow-path reader continues
+/// into the re-bias decision; MRSW grants directly.
+fn read_locked(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    match st.alg {
+        crate::SwAlg::Bravo => crate::bravo::slow_read_locked(st, m, t),
+        _ => st.grant(m, t),
+    }
+}
+
+/// The underlying write lock is held (queue head, readers drained). A
+/// BRAVO writer continues into bias revocation; MRSW grants directly.
+fn write_locked(st: &mut SwState, m: &mut Mach, t: ThreadId) {
+    match st.alg {
+        crate::SwAlg::Bravo => crate::bravo::writer_locked(st, m, t),
+        _ => st.grant(m, t),
     }
 }
 

@@ -5,6 +5,8 @@ use std::collections::HashMap;
 use locksim_engine::stats::Counters;
 use locksim_machine::{Addr, Checker, Mach, MemKind, Mode, RmwOp, ThreadId};
 
+use crate::backend::SwAlg;
+
 /// Issues a timed load on behalf of `t`.
 pub(crate) fn read(m: &mut Mach, t: ThreadId, a: Addr) {
     m.backend_mem(t, a, MemKind::Load);
@@ -104,6 +106,30 @@ pub(crate) enum Phase {
     MrswWRelSpinRead,
     MrswWRelSpinWait,
     MrswWRelUnlock,
+    // BRAVO reader fast path (publish into the visible-readers table)
+    BravoRReadBias,
+    BravoRPublish,
+    BravoRRecheckBias,
+    BravoRUndo,
+    BravoRRelClear,
+    // BRAVO slow reader re-biasing the lock after the inhibit window
+    BravoRSetBias,
+    // BRAVO writer revocation (runs after the underlying write acquire)
+    BravoWReadBias,
+    BravoWClearBias,
+    BravoWScanRead,
+    BravoWScanWait,
+    // Fissile reader aggregation on the lock word
+    FisRInc,
+    FisRDec,
+    FisRWaitCheck,
+    FisRWait,
+    FisRRelDec,
+    // Fissile writer (runs after winning the inner MCS queue)
+    FisWSetBit,
+    FisWReadWord,
+    FisWWait,
+    FisWRelClear,
 }
 
 /// Per-thread in-flight lock operation.
@@ -115,8 +141,10 @@ pub(crate) struct Tsm {
     pub phase: Phase,
     /// This thread's queue node for `lock` (queue locks).
     pub qnode: Addr,
-    /// Scratch register (predecessor / next pointer).
+    /// Scratch register (predecessor / next pointer / table slot).
     pub scratch: u64,
+    /// Second scratch register (revocation-scan start cycle).
+    pub scratch2: u64,
     /// Trylock expired; unwind instead of granting.
     pub aborted: bool,
     /// Consecutive spin wake-ups (drives Posix parking).
@@ -146,8 +174,41 @@ pub(crate) struct LockMem {
     pub wactive: Addr,
 }
 
+/// Slots in the BRAVO global visible-readers table. Each slot is its own
+/// cache line; a fast-path reader publishes into `hash(thread, lock)` and
+/// a revoking writer scans all of them. Sized so the simulator's ≤64-core
+/// workloads collide occasionally (exercising the slow path) without
+/// making revocation scans dominate.
+pub(crate) const BRAVO_SLOTS: usize = 16;
+
+/// Multiplier applied to a revocation scan's measured duration to derive
+/// the bias-inhibit window (BRAVO's adaptive `N` — the paper uses 9).
+pub(crate) const BRAVO_INHIBIT_MULT: u64 = 9;
+
+/// Per-lock BRAVO metadata: the bias-flag line plus the host-side
+/// re-bias inhibit deadline (a cycle count, not simulated memory — in a
+/// real implementation this word rides in the lock struct and is only
+/// touched under the write lock, so modelling it as free does not hide
+/// coherence traffic).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BravoMeta {
+    pub bias: Addr,
+    pub inhibit_until: u64,
+}
+
+/// How a granted BRAVO reader entered the lock — decides which release
+/// path its unlock must take (the slot store vs the underlying counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReaderPath {
+    /// Fast path: holds visible-readers table slot `i`.
+    Fast(usize),
+    /// Slow path: holds a unit of the underlying MRSW reader counter.
+    Slow,
+}
+
 /// Shared backend state handed to the per-algorithm modules.
 pub(crate) struct SwState {
+    pub alg: SwAlg,
     pub threads: HashMap<ThreadId, Tsm>,
     pub mem: HashMap<Addr, LockMem>,
     pub qnodes: HashMap<(ThreadId, Addr), Addr>,
@@ -155,11 +216,21 @@ pub(crate) struct SwState {
     pub timer_seq: u64,
     pub counters: Counters,
     pub checker: Checker,
+    /// BRAVO per-lock metadata (lazily allocated; empty for other algs so
+    /// the allocation sequence of existing algorithms is untouched).
+    pub bravo: HashMap<Addr, BravoMeta>,
+    /// BRAVO global visible-readers table, shared by all locks.
+    pub rtable: Vec<Addr>,
+    /// Which path each granted BRAVO reader took (keyed by holder).
+    pub rpaths: HashMap<(ThreadId, Addr), ReaderPath>,
+    /// Fissile per-lock word line (WRITE bit 0, reader count above it).
+    pub fissile: HashMap<Addr, Addr>,
 }
 
 impl SwState {
-    pub fn new() -> Self {
+    pub fn new(alg: SwAlg) -> Self {
         SwState {
+            alg,
             threads: HashMap::new(),
             mem: HashMap::new(),
             qnodes: HashMap::new(),
@@ -167,6 +238,10 @@ impl SwState {
             timer_seq: 0,
             counters: Counters::new(),
             checker: Checker::new(),
+            bravo: HashMap::new(),
+            rtable: Vec::new(),
+            rpaths: HashMap::new(),
+            fissile: HashMap::new(),
         }
     }
 
@@ -182,6 +257,38 @@ impl SwState {
         };
         self.mem.insert(lock, lm);
         lm
+    }
+
+    /// Lazily allocates the BRAVO metadata (bias line) for a lock.
+    pub fn bravo_meta(&mut self, m: &mut Mach, lock: Addr) -> BravoMeta {
+        if let Some(&meta) = self.bravo.get(&lock) {
+            return meta;
+        }
+        let meta = BravoMeta {
+            bias: m.alloc().alloc_line(),
+            inhibit_until: 0,
+        };
+        self.bravo.insert(lock, meta);
+        meta
+    }
+
+    /// Lazily allocates the global visible-readers table (one line per
+    /// slot) and returns slot `i`'s address.
+    pub fn rtable_slot(&mut self, m: &mut Mach, i: usize) -> Addr {
+        if self.rtable.is_empty() {
+            self.rtable = (0..BRAVO_SLOTS).map(|_| m.alloc().alloc_line()).collect();
+        }
+        self.rtable[i]
+    }
+
+    /// Lazily allocates the Fissile lock word for a lock.
+    pub fn fissile_word(&mut self, m: &mut Mach, lock: Addr) -> Addr {
+        if let Some(&w) = self.fissile.get(&lock) {
+            return w;
+        }
+        let w = m.alloc().alloc_line();
+        self.fissile.insert(lock, w);
+        w
     }
 
     /// Lazily allocates this thread's queue node for `lock` (one line:

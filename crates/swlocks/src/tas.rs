@@ -148,6 +148,7 @@ pub(crate) fn new_tsm(lock: locksim_machine::Addr, mode: locksim_machine::Mode, 
         phase: Phase::TasRmw,
         qnode: locksim_machine::Addr(0),
         scratch: 0,
+        scratch2: 0,
         aborted: false,
         spins: 0,
         futile: 0,

@@ -413,3 +413,351 @@ fn mcs_rejects_read_mode() {
     }])));
     w.run_to_completion();
 }
+
+// ---------------------------------------------------------------------------
+// BRAVO (biased reader-writer lock)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bravo_write_mutual_exclusion() {
+    mutex_counter_test(SwAlg::Bravo);
+}
+
+#[test]
+fn fissile_write_mutual_exclusion() {
+    mutex_counter_test(SwAlg::Fissile);
+}
+
+#[test]
+fn bravo_mixed_readers_writers() {
+    let mut w = world(SwAlg::Bravo, 16, 2);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for t in 0..16 {
+        let pct = [0u32, 25, 50, 100][t % 4];
+        w.spawn(Box::new(CsLoop::new(lock, counter, 12, pct)));
+    }
+    w.run_to_completion();
+    let granted = w.report_counters().get("locks_granted");
+    assert_eq!(granted, 16 * 12);
+}
+
+#[test]
+fn fissile_mixed_readers_writers() {
+    let mut w = world(SwAlg::Fissile, 16, 2);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for t in 0..16 {
+        let pct = [0u32, 25, 50, 100][t % 4];
+        w.spawn(Box::new(CsLoop::new(lock, counter, 12, pct)));
+    }
+    w.run_to_completion();
+    let granted = w.report_counters().get("locks_granted");
+    assert_eq!(granted, 16 * 12);
+}
+
+#[test]
+fn bravo_readers_overlap() {
+    let mut w = world(SwAlg::Bravo, 8, 3);
+    let lock = w.mach().alloc().alloc_line();
+    for _ in 0..6 {
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
+            Action::Compute(30_000),
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
+        ])));
+    }
+    w.run_to_completion();
+    let t = w.mach().now().cycles();
+    assert!(t < 2 * 30_000, "BRAVO readers serialized: {t}");
+}
+
+#[test]
+fn fissile_readers_overlap() {
+    let mut w = world(SwAlg::Fissile, 8, 3);
+    let lock = w.mach().alloc().alloc_line();
+    for _ in 0..6 {
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
+            Action::Compute(30_000),
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
+        ])));
+    }
+    w.run_to_completion();
+    let t = w.mach().now().cycles();
+    assert!(t < 2 * 30_000, "Fissile readers serialized: {t}");
+}
+
+#[test]
+fn bravo_reader_path_accounting_is_exhaustive() {
+    // Every granted read went through exactly one of the two reader paths:
+    // the biased fast path (visible-readers table) or the underlying MRSW
+    // slow path. A read-heavy mixed run must conserve the accounting.
+    let mut w = world(SwAlg::Bravo, 16, 21);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for _ in 0..16 {
+        w.spawn(Box::new(CsLoop::new(lock, counter, 15, 10)));
+    }
+    w.run_to_completion();
+    let c = w.report_counters();
+    let fast = c.get("sw_bravo_fast_reads");
+    let slow = c.get("sw_bravo_slow_reads");
+    let writes = w.mach().mem_peek(counter);
+    assert_eq!(
+        fast + slow + writes,
+        16 * 15,
+        "reader paths + writes must cover every grant (fast={fast} slow={slow} writes={writes})"
+    );
+    assert!(fast > 0, "read-heavy run never took the biased fast path");
+}
+
+#[test]
+fn bravo_writer_revokes_bias() {
+    // Readers first establish bias via the fast path; a writer arriving
+    // later must clear the bias flag and scan the visible-readers table.
+    let mut w = world(SwAlg::Bravo, 8, 22);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for _ in 0..6 {
+        w.spawn(Box::new(CsLoop::new(lock, counter, 10, 0)));
+    }
+    // Delayed writer: lets readers publish into the table first.
+    w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Compute(2_000),
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Write(counter, 777),
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
+    ])));
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert!(
+        c.get("sw_bravo_fast_reads") > 0,
+        "readers never used the fast path"
+    );
+    assert!(
+        c.get("sw_bravo_revocations") >= 1,
+        "writer never revoked the bias"
+    );
+}
+
+#[test]
+fn bravo_rebias_after_inhibit_window() {
+    // After a revocation, readers fall back to the slow path until the
+    // adaptive inhibit window (9x the revocation scan time) expires; a
+    // slow reader granted after that point re-installs the bias.
+    let mut w = world(SwAlg::Bravo, 8, 23);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    // One early writer to revoke the (bootstrapped) bias, then a long
+    // stream of readers with think time far exceeding the inhibit window.
+    w.spawn(Box::new(CsLoop::new(lock, counter, 1, 100)));
+    for _ in 0..4 {
+        let mut script = Vec::new();
+        for _ in 0..8 {
+            script.push(Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            });
+            script.push(Action::Compute(100));
+            script.push(Action::Release {
+                lock,
+                mode: Mode::Read,
+            });
+            script.push(Action::Compute(20_000));
+        }
+        w.spawn(Box::new(ScriptProgram::new(script)));
+    }
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert!(
+        c.get("sw_bravo_rebias") >= 1,
+        "no reader ever re-biased after the inhibit window"
+    );
+    // Re-biasing must actually restore the fast path for later readers.
+    assert!(
+        c.get("sw_bravo_fast_reads") > 0,
+        "fast path never used after re-bias"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fissile (inner MCS core + outer reader aggregation word)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fissile_uncontended_reads_take_fast_path() {
+    let mut w = world(SwAlg::Fissile, 8, 24);
+    let lock = w.mach().alloc().alloc_line();
+    for _ in 0..6 {
+        let mut script = Vec::new();
+        for _ in 0..10 {
+            script.push(Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            });
+            script.push(Action::Compute(50));
+            script.push(Action::Release {
+                lock,
+                mode: Mode::Read,
+            });
+        }
+        w.spawn(Box::new(ScriptProgram::new(script)));
+    }
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert_eq!(
+        c.get("sw_fissile_read_fast"),
+        6 * 10,
+        "every read in a writer-free run is a single FetchAdd"
+    );
+    assert_eq!(c.get("sw_fissile_rollbacks"), 0);
+}
+
+#[test]
+fn fissile_reader_rolls_back_under_writer() {
+    // A writer holding the lock forces arriving readers to undo their
+    // optimistic increment and wait for the write bit to clear.
+    let mut w = world(SwAlg::Fissile, 4, 25);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Compute(30_000),
+        Action::Write(counter, 1),
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
+    ])));
+    w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Compute(5_000),
+        Action::Acquire {
+            lock,
+            mode: Mode::Read,
+            try_for: None,
+        },
+        Action::Read(counter),
+        Action::Release {
+            lock,
+            mode: Mode::Read,
+        },
+    ])));
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert!(
+        c.get("sw_fissile_rollbacks") >= 1,
+        "reader should have rolled back its optimistic increment"
+    );
+    assert_eq!(c.get("locks_granted"), 2);
+}
+
+#[test]
+fn fissile_writer_waits_for_reader_drain() {
+    // Readers in their critical section force the queued writer to spin on
+    // the aggregation word until the count drains to just the write bit.
+    let mut w = world(SwAlg::Fissile, 8, 26);
+    let lock = w.mach().alloc().alloc_line();
+    for _ in 0..4 {
+        w.spawn(Box::new(ScriptProgram::new(vec![
+            Action::Acquire {
+                lock,
+                mode: Mode::Read,
+                try_for: None,
+            },
+            Action::Compute(20_000),
+            Action::Release {
+                lock,
+                mode: Mode::Read,
+            },
+        ])));
+    }
+    w.spawn(Box::new(ScriptProgram::new(vec![
+        Action::Compute(3_000),
+        Action::Acquire {
+            lock,
+            mode: Mode::Write,
+            try_for: None,
+        },
+        Action::Release {
+            lock,
+            mode: Mode::Write,
+        },
+    ])));
+    w.run_to_completion();
+    let c = w.report_counters();
+    assert!(
+        c.get("sw_fissile_writer_waits") >= 1,
+        "writer should have waited for active readers to drain"
+    );
+}
+
+#[test]
+fn bravo_writer_eventually_beats_readers() {
+    let mut w = world(SwAlg::Bravo, 8, 27);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for _ in 0..6 {
+        w.spawn(Box::new(CsLoop::new(lock, counter, 30, 0)));
+    }
+    w.spawn(Box::new(CsLoop::new(lock, counter, 5, 100)));
+    w.run_to_completion();
+    assert_eq!(w.mach().mem_peek(counter), 5);
+}
+
+#[test]
+fn fissile_writer_eventually_beats_readers() {
+    let mut w = world(SwAlg::Fissile, 8, 28);
+    let lock = w.mach().alloc().alloc_line();
+    let counter = w.mach().alloc().alloc_line();
+    for _ in 0..6 {
+        w.spawn(Box::new(CsLoop::new(lock, counter, 30, 0)));
+    }
+    w.spawn(Box::new(CsLoop::new(lock, counter, 5, 100)));
+    w.run_to_completion();
+    assert_eq!(w.mach().mem_peek(counter), 5);
+}
+
+#[test]
+fn bravo_fissile_determinism() {
+    for alg in [SwAlg::Bravo, SwAlg::Fissile] {
+        let run = || {
+            let mut w = world(alg, 8, 29);
+            let lock = w.mach().alloc().alloc_line();
+            let counter = w.mach().alloc().alloc_line();
+            for _ in 0..8 {
+                w.spawn(Box::new(CsLoop::new(lock, counter, 8, 50)));
+            }
+            w.run_to_completion();
+            w.mach().now().cycles()
+        };
+        assert_eq!(run(), run(), "{alg:?} nondeterministic");
+    }
+}

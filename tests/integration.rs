@@ -38,6 +38,14 @@ fn all_backends() -> Vec<(&'static str, BackendFactory)> {
             Box::new(|| Box::new(SwLockBackend::new(SwAlg::Mrsw)) as Box<dyn LockBackend>),
         ),
         (
+            "bravo",
+            Box::new(|| Box::new(SwLockBackend::new(SwAlg::Bravo)) as Box<dyn LockBackend>),
+        ),
+        (
+            "fissile",
+            Box::new(|| Box::new(SwLockBackend::new(SwAlg::Fissile)) as Box<dyn LockBackend>),
+        ),
+        (
             "tatas",
             Box::new(|| Box::new(SwLockBackend::new(SwAlg::Tatas)) as Box<dyn LockBackend>),
         ),
@@ -97,6 +105,8 @@ fn rw_backends_allow_reader_concurrency() {
         ("lcu", Box::new(LcuBackend::new()) as Box<dyn LockBackend>),
         ("ssb", Box::new(SsbBackend::new())),
         ("mrsw", Box::new(SwLockBackend::new(SwAlg::Mrsw))),
+        ("bravo", Box::new(SwLockBackend::new(SwAlg::Bravo))),
+        ("fissile", Box::new(SwLockBackend::new(SwAlg::Fissile))),
     ] {
         let mut w = World::new(MachineConfig::model_a(8), make, 10);
         let lock = w.mach().alloc().alloc_line();
